@@ -1,0 +1,96 @@
+"""Component micro-benchmarks: simulator, probe and learner throughput.
+
+These are classic repeated-timing pytest-benchmark cases (unlike the
+figure reproductions, which run once over the cached datasets).  They
+guard the hot paths: the event loop, the TCP stack, the passive tstat
+pipeline and C4.5 training.
+"""
+
+import numpy as np
+
+from repro.ml.tree import C45Tree
+from repro.probes.tstat import TstatProbe
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.simnet.packet import Packet, UDP
+from repro.simnet.tcp import TcpServer, open_connection
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule+dispatch cost of the bare event loop (100k events)."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def _tcp_transfer(size):
+    sim = Simulator(seed=1)
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    wire(sim, a, "eth0", b, "eth0",
+         Channel(sim, "f", 100e6, delay=0.005),
+         Channel(sim, "b", 100e6, delay=0.005))
+    a.set_default_route(a.interfaces["eth0"])
+    b.set_default_route(b.interfaces["eth0"])
+    got = [0]
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(size), ep.close())
+
+    TcpServer(sim, b, 80, on_conn)
+    client = open_connection(sim, a, "b", 80)
+    client.on_established = lambda: client.send(300)
+    client.on_data = lambda n, t: got.__setitem__(0, got[0] + n)
+    client.connect()
+    sim.run(until=120.0)
+    return got[0]
+
+
+def test_tcp_stack_throughput(benchmark):
+    """Full-stack cost of a 2 MB TCP transfer (packets, ACKs, timers)."""
+    assert benchmark(_tcp_transfer, 2_000_000) == 2_000_000
+
+
+def test_tstat_per_packet_cost(benchmark):
+    """Passive flow analysis cost over a synthetic 10k-packet stream."""
+    probe = TstatProbe(Simulator())
+    packets = []
+    seq = 0
+    for i in range(10_000):
+        packets.append(Packet(src="c", dst="s", sport=1000, dport=80,
+                              payload_len=1460, seq=seq, flags=0x10))
+        seq += 1460
+
+    def run():
+        probe.reset()
+        for i, pkt in enumerate(packets):
+            probe._observe(pkt, "rx", i * 0.001)
+        return len(probe.flows)
+
+    assert benchmark(run) == 1
+
+
+def test_c45_training_speed(benchmark):
+    """C4.5 on a 1000x50 matrix with 5 classes."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(0, 1, (1000, 50))
+    y = rng.integers(0, 5, 1000)
+    X[:, 0] += y * 1.5
+    X[:, 1] -= y * 0.7
+    labels = y.astype(str)
+
+    tree = benchmark(lambda: C45Tree().fit(X, labels))
+    assert tree.n_nodes >= 1

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Adaptive vs progressive delivery under network faults.
+
+Section 2 requires the diagnosis system to be agnostic to "static or
+adaptive streaming, pacing and so on".  This example runs the same videos
+through (a) Apache-style progressive download and (b) the DASH-style ABR
+client, under the same WAN shaping fault, and shows:
+
+* ABR trades bitrate for smoothness (fewer stalls, lower delivered rate);
+* the lab-trained analyzer still reads ABR sessions correctly.
+
+Run:  python examples/adaptive_streaming.py
+"""
+
+import random
+
+from repro import RootCauseAnalyzer, Testbed, TestbedConfig, VideoCatalog
+from repro.experiments.common import controlled_dataset, scaled
+from repro.faults import make_fault
+
+
+def run_pair(seed: int, fault_spec):
+    catalog = VideoCatalog(size=20, duration_range=(20, 40), seed=11)
+    rng = random.Random(seed)
+    profile = next(v for v in catalog if v.definition == "HD")
+
+    results = {}
+    for mode in ("progressive", "abr"):
+        bed = Testbed(TestbedConfig(seed=seed))
+        fault = (
+            make_fault(fault_spec[0], fault_spec[1], random.Random(seed))
+            if fault_spec else None
+        )
+        if mode == "progressive":
+            record = bed.run_video_session(profile, fault=fault)
+        else:
+            record = bed.run_abr_session(profile, fault=fault)
+        bed.shutdown()
+        results[mode] = record
+    return results
+
+
+def main() -> None:
+    dataset = controlled_dataset(n_instances=scaled(160), verbose=True)
+    analyzer = RootCauseAnalyzer(vps=("mobile", "router", "server"))
+    analyzer.fit(dataset)
+
+    for label, fault_spec in [("healthy", None), ("wan_shaping severe",
+                                                  ("wan_shaping", "severe"))]:
+        print(f"\n=== scenario: {label} ===")
+        results = run_pair(seed=4242, fault_spec=fault_spec)
+        for mode, record in results.items():
+            stalls = record.app_metrics.get("qoe_stall_count", 0)
+            extra = ""
+            if mode == "abr":
+                extra = (f"  avg bitrate={record.app_metrics['abr_avg_bitrate'] / 1e6:.2f}Mbps"
+                         f"  switches={record.app_metrics['abr_switches']:.0f}")
+            print(f"  {mode:<12} MOS={record.mos:.2f} ({record.severity}) "
+                  f"stalls={stalls:.0f}{extra}")
+            report = analyzer.diagnose_record(record)
+            print(f"    diagnosis: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

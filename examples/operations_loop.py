@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Running the diagnosis system in production: explain, drift, retrain.
+
+Section 7's "Continuous Training" sketch, as an operations loop:
+
+1. deploy a lab-trained analyzer;
+2. *explain* individual diagnoses with the C4.5 decision path (the
+   interpretability the paper chose C4.5 for);
+3. monitor live traffic for feature drift against the training
+   distribution;
+4. when drift crosses the retrain gate, fold the newly-labelled field
+   data into the training set and refit.
+
+Run:  python examples/operations_loop.py
+"""
+
+from repro import RootCauseAnalyzer
+from repro.core.drift import DriftMonitor
+from repro.core.report import fleet_report
+from repro.experiments.common import (
+    controlled_dataset,
+    scaled,
+    wild_dataset,
+)
+
+
+def main() -> None:
+    print("=== deploy: train in the lab ===")
+    lab = controlled_dataset(n_instances=scaled(160), verbose=True)
+    analyzer = RootCauseAnalyzer().fit(lab)
+    monitored = analyzer.selected_features("severity")
+    monitor = DriftMonitor(features=monitored).fit(lab)
+    print(f"monitoring {len(monitored)} model features for drift")
+
+    print("\n=== operate: diagnose live traffic ===")
+    live = wild_dataset(n_instances=scaled(120), verbose=True)
+    print(fleet_report(analyzer, live).to_text())
+
+    print("\n=== explain one problematic session ===")
+    problem = next(
+        (inst for inst in live if inst.label("severity") != "good"), live[0]
+    )
+    label, path = analyzer.explain(
+        problem.features, task="exact",
+        session_s=problem.meta.get("session_s"),
+    )
+    print(f"diagnosis: {label}")
+    for cond in path[:6]:
+        print(f"  because {cond}")
+
+    print("\n=== drift check against the lab distribution ===")
+    report = monitor.score(live)
+    print(report.to_text())
+
+    if report.should_retrain:
+        print("\n=== retrain with field data folded in (Section 7) ===")
+        refreshed = lab.merged_with(live)
+        analyzer.fit(refreshed)
+        print(f"model refreshed on {len(refreshed)} instances; "
+              f"now using {len(analyzer.selected_features('severity'))} features")
+    else:
+        print("\nno retrain needed yet; the lab model still matches the field")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: root-cause analysis for mobile video streaming QoE.
+
+A full reproduction of "Identifying the Root Cause of Video Streaming
+Issues on Mobile Devices" (Dimopoulos et al., CoNEXT 2015): a simulated
+testbed (network, WiFi, TCP, video delivery, faults, probes) plus the
+paper's multi-vantage-point machine-learning diagnosis framework.
+
+Quickstart::
+
+    from repro import RootCauseAnalyzer, controlled_dataset
+
+    dataset = controlled_dataset(n_instances=200)   # simulate ground truth
+    analyzer = RootCauseAnalyzer(vps=("mobile",))   # phone-only deployment
+    analyzer.fit(dataset)
+    report = analyzer.diagnose_record(dataset[0])
+    print(report.summary())
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
+for the reproduction of every table and figure in the paper.
+"""
+
+from repro.core.dataset import Dataset, Instance
+from repro.core.diagnosis import DiagnosisReport, RootCauseAnalyzer
+from repro.experiments.common import (
+    controlled_dataset,
+    realworld_dataset,
+    wild_dataset,
+)
+from repro.testbed.campaign import CampaignConfig, run_campaign
+from repro.testbed.testbed import SessionRecord, Testbed, TestbedConfig
+from repro.video.catalog import VideoCatalog, VideoProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Instance",
+    "DiagnosisReport",
+    "RootCauseAnalyzer",
+    "controlled_dataset",
+    "realworld_dataset",
+    "wild_dataset",
+    "CampaignConfig",
+    "run_campaign",
+    "SessionRecord",
+    "Testbed",
+    "TestbedConfig",
+    "VideoCatalog",
+    "VideoProfile",
+    "__version__",
+]

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``campaign``
+    Simulate a labelled dataset (controlled / realworld / wild) and save
+    it as a pickle.
+``evaluate``
+    Run one of the paper's experiments against a dataset (cached default
+    or a pickle produced by ``campaign``).
+``diagnose``
+    Train on one dataset and diagnose the sessions of another, printing
+    one human-readable report line per session.
+
+Examples
+--------
+
+::
+
+    python -m repro campaign --kind controlled --instances 120 --out lab.pkl
+    python -m repro evaluate --experiment fig3 --dataset lab.pkl
+    python -m repro diagnose --train lab.pkl --vps mobile --limit 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+from repro.core.dataset import Dataset
+from repro.core.diagnosis import RootCauseAnalyzer
+
+
+def _load_dataset(path: str) -> Dataset:
+    with Path(path).open("rb") as fh:
+        obj = pickle.load(fh)
+    if not isinstance(obj, Dataset):
+        raise SystemExit(f"{path} does not contain a repro Dataset")
+    return obj
+
+
+def _default_dataset(kind: str, instances):
+    from repro.experiments.common import (
+        controlled_dataset,
+        realworld_dataset,
+        wild_dataset,
+    )
+
+    builders = {
+        "controlled": controlled_dataset,
+        "realworld": realworld_dataset,
+        "wild": wild_dataset,
+    }
+    return builders[kind](n_instances=instances, verbose=True)
+
+
+def cmd_campaign(args) -> int:
+    dataset = _default_dataset(args.kind, args.instances)
+    with Path(args.out).open("wb") as fh:
+        pickle.dump(dataset, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    print(f"wrote {len(dataset)} instances "
+          f"({len(dataset.feature_names)} features) to {args.out}")
+    print(f"severity: {dataset.label_counts('severity')}")
+    return 0
+
+
+EXPERIMENTS = {
+    "table1": ("selection_table", "run_selection", False),
+    "fig3": ("detection", "run_detection", False),
+    "sec52": ("location", "run_location", False),
+    "fig4": ("exact", "run_exact", False),
+    "fig5": ("feature_sets", "run_feature_sets", False),
+    "ablation": ("feature_sets", "run_fc_fs_ablation", False),
+    "classifiers": ("classifiers", "run_classifier_comparison", False),
+    "fig6": ("realworld", "run_realworld_detection", True),
+    "fig7": ("realworld", "run_realworld_exact", True),
+    "fig8": ("wild", "run_wild_detection", True),
+    "fig9": ("wild", "run_server_inference", True),
+    "table5": ("wild", "run_wild_rca", True),
+}
+
+
+def cmd_evaluate(args) -> int:
+    import importlib
+
+    module_name, fn_name, needs_two = EXPERIMENTS[args.experiment]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    runner = getattr(module, fn_name)
+    if needs_two:
+        train = (_load_dataset(args.train) if args.train
+                 else _default_dataset("controlled", None))
+        test = (_load_dataset(args.dataset) if args.dataset
+                else _default_dataset(
+                    "wild" if args.experiment in ("fig8", "fig9", "table5")
+                    else "realworld", None))
+        result = runner(train, test)
+    else:
+        dataset = (_load_dataset(args.dataset) if args.dataset
+                   else _default_dataset("controlled", None))
+        result = runner(dataset)
+    if hasattr(result, "to_text"):
+        print(result.to_text())
+    else:
+        print(result)
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    train = (_load_dataset(args.train) if args.train
+             else _default_dataset("controlled", None))
+    target = _load_dataset(args.dataset) if args.dataset else train
+    vps = tuple(args.vps.split(","))
+    analyzer = RootCauseAnalyzer(vps=vps).fit(train)
+    limit = args.limit if args.limit > 0 else len(target)
+    hits = 0
+    for index, inst in enumerate(target.instances[:limit]):
+        report = analyzer.diagnose_record(inst)
+        truth = inst.label("exact")
+        match = "OK " if report.exact == truth else "MISS"
+        hits += report.exact == truth
+        print(f"[{index:4d}] {match} truth={truth:<28} {report.summary()}")
+        if args.explain:
+            _label, path = analyzer.explain(
+                inst.features, task="exact",
+                session_s=inst.meta.get("session_s"),
+            )
+            for cond in path[:5]:
+                print(f"         because {cond}")
+    print(f"\nexact-label agreement: {hits}/{limit}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.report import fleet_report
+
+    train = (_load_dataset(args.train) if args.train
+             else _default_dataset("controlled", None))
+    target = _load_dataset(args.dataset) if args.dataset else train
+    analyzer = RootCauseAnalyzer(vps=tuple(args.vps.split(","))).fit(train)
+    print(fleet_report(analyzer, target).to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("campaign", help="simulate a labelled dataset")
+    p.add_argument("--kind", choices=("controlled", "realworld", "wild"),
+                   default="controlled")
+    p.add_argument("--instances", type=int, default=None)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("evaluate", help="run a paper experiment")
+    p.add_argument("--experiment", choices=sorted(EXPERIMENTS), required=True)
+    p.add_argument("--dataset", help="pickle from `repro campaign`")
+    p.add_argument("--train", help="training pickle for transfer experiments")
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("diagnose", help="diagnose sessions of a dataset")
+    p.add_argument("--train", help="training pickle (default: cached controlled)")
+    p.add_argument("--dataset", help="sessions to diagnose (default: training set)")
+    p.add_argument("--vps", default="mobile,router,server",
+                   help="comma-separated vantage points")
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--explain", action="store_true",
+                   help="print the C4.5 decision path per diagnosis")
+    p.set_defaults(fn=cmd_diagnose)
+
+    p = sub.add_parser("report", help="fleet QoE report over a dataset")
+    p.add_argument("--train", help="training pickle (default: cached controlled)")
+    p.add_argument("--dataset", help="sessions to report on (default: training set)")
+    p.add_argument("--vps", default="mobile,router,server")
+    p.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

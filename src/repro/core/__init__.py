@@ -1,0 +1,45 @@
+"""The paper's contribution: the multi-VP root-cause-analysis framework.
+
+* :mod:`repro.core.dataset` -- labelled instances and matrix assembly.
+* :mod:`repro.core.vantage` -- vantage-point scoping of the feature space.
+* :mod:`repro.core.construction` -- Feature Construction (Section 3.2):
+  session-total normalisation, NIC utilisation, duration normalisation.
+* :mod:`repro.core.selection` -- Feature Selection via FCBF (Table 1).
+* :mod:`repro.core.labeling` -- MOS-based labels for the three tasks
+  (existence / location / exact cause).
+* :mod:`repro.core.evaluation` -- the Section 5 evaluation protocol
+  (10-fold CV per VP combination) and train-here/test-there transfer.
+* :mod:`repro.core.diagnosis` -- :class:`RootCauseAnalyzer`, the public
+  diagnose-one-session API.
+"""
+
+from repro.core.construction import FeatureConstructor
+from repro.core.dataset import Dataset, Instance
+from repro.core.diagnosis import DiagnosisReport, RootCauseAnalyzer
+from repro.core.drift import DriftMonitor, DriftReport
+from repro.core.report import FleetReport, fleet_report
+from repro.core.evaluation import EvalResult, evaluate_cv, evaluate_transfer
+from repro.core.labeling import LABEL_KINDS, label_array
+from repro.core.selection import FeatureSelector
+from repro.core.vantage import ALL_VPS, features_for_vps, vp_of_feature
+
+__all__ = [
+    "Dataset",
+    "Instance",
+    "FeatureConstructor",
+    "FeatureSelector",
+    "DiagnosisReport",
+    "RootCauseAnalyzer",
+    "DriftMonitor",
+    "DriftReport",
+    "FleetReport",
+    "fleet_report",
+    "EvalResult",
+    "evaluate_cv",
+    "evaluate_transfer",
+    "LABEL_KINDS",
+    "label_array",
+    "ALL_VPS",
+    "features_for_vps",
+    "vp_of_feature",
+]

@@ -1,0 +1,125 @@
+"""Feature Construction (Section 3.2).
+
+Makes the feature space "agnostic to the specifics of each scenario, i.e.
+video type, streaming techniques and network technology":
+
+* every per-flow byte/packet counter is normalised by the flow's total
+  bytes/packets at the same vantage point (``*_norm`` features);
+* NIC send/receive rates are divided by the maximum rate observed for that
+  NIC in the entire dataset, yielding utilisations in [0, 1]
+  (``*_util`` features) -- this is a dataset-level fit, exactly as the
+  paper describes;
+* flow duration is normalised by the video-session duration.
+
+The constructor is fit on a training dataset and can then transform any
+instance (including live ones at diagnosis time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dataset import Dataset, Instance
+
+#: tstat counters normalised by total packets of the same direction
+_PKT_COUNTERS = (
+    "data_pkts",
+    "retx_pkts",
+    "ooo_pkts",
+    "reordered_pkts",
+    "pure_acks",
+    "dup_acks",
+    "sack_acks",
+)
+#: tstat counters normalised by total bytes of the same direction
+_BYTE_COUNTERS = ("data_bytes", "retx_bytes", "unique_bytes")
+
+#: link-probe rate features turned into utilisations
+_RATE_SUFFIXES = ("tx_rate", "rx_rate")
+
+
+class FeatureConstructor:
+    """Adds the paper's constructed features to every instance."""
+
+    def __init__(self):
+        self._nic_max_rates: Dict[str, float] = {}
+        self.fitted = False
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, dataset: Dataset) -> "FeatureConstructor":
+        """Learn per-NIC maximum rates over the whole dataset."""
+        maxima: Dict[str, float] = {}
+        for inst in dataset:
+            for name, value in inst.features.items():
+                if name.endswith(_RATE_SUFFIXES):
+                    if value > maxima.get(name, 0.0):
+                        maxima[name] = value
+        self._nic_max_rates = maxima
+        self.fitted = True
+        return self
+
+    # -------------------------------------------------------------- transform
+
+    def transform_features(self, features: Dict[str, float]) -> Dict[str, float]:
+        """Return ``features`` plus the constructed ones."""
+        if not self.fitted:
+            raise RuntimeError("constructor must be fit before transform")
+        out = dict(features)
+
+        # -- per-direction count normalisation ------------------------------
+        for name, value in features.items():
+            if "_tcp_" not in name:
+                continue
+            for direction in ("c2s", "s2c"):
+                tag = f"_{direction}_"
+                if tag not in name:
+                    continue
+                prefix = name.split(tag)[0]  # e.g. "mobile_tcp"
+                suffix = name.split(tag)[1]
+                if suffix in _PKT_COUNTERS:
+                    total = features.get(f"{prefix}_{direction}_pkts", 0.0)
+                    out[f"{name}_norm"] = value / total if total > 0 else 0.0
+                elif suffix in _BYTE_COUNTERS:
+                    total = features.get(f"{prefix}_{direction}_bytes", 0.0)
+                    out[f"{name}_norm"] = value / total if total > 0 else 0.0
+
+        # -- NIC utilisation --------------------------------------------------
+        for name, max_rate in self._nic_max_rates.items():
+            if name in features and max_rate > 0:
+                out[f"{name[:-5]}_util"] = min(1.0, features[name] / max_rate)
+
+        return out
+
+    def transform_instance(self, inst: Instance, session_s: Optional[float] = None) -> Instance:
+        features = self.transform_features(inst.features)
+        session = session_s or float(inst.meta.get("session_s", 0.0) or 0.0)
+        if session > 0:
+            for vp in ("mobile", "router", "server"):
+                key = f"{vp}_tcp_flow_duration"
+                if key in features:
+                    features[f"{key}_norm"] = features[key] / session
+        return Instance(
+            features=features,
+            labels=dict(inst.labels),
+            mos=inst.mos,
+            app_metrics=dict(inst.app_metrics),
+            meta=dict(inst.meta),
+        )
+
+    def transform(self, dataset: Dataset) -> Dataset:
+        return Dataset([self.transform_instance(inst) for inst in dataset])
+
+    def fit_transform(self, dataset: Dataset) -> Dataset:
+        return self.fit(dataset).transform(dataset)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def nic_max_rates(self) -> Dict[str, float]:
+        return dict(self._nic_max_rates)
+
+    def constructed_names(self, base_names: Sequence[str]) -> List[str]:
+        """Names this constructor would add given raw ``base_names``."""
+        sample = {name: 1.0 for name in base_names}
+        return [n for n in self.transform_features(sample) if n not in sample]

@@ -1,0 +1,101 @@
+"""Labelled instances and dataset assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Instance:
+    """One video session: feature vector plus ground truth.
+
+    ``labels`` holds the three tasks of the paper: ``severity``
+    (good/mild/severe, Section 5.1), ``location`` (Section 5.2) and
+    ``exact`` (Section 5.3).  Application-layer metrics live in
+    ``app_metrics`` and are never part of ``features``.
+    """
+
+    features: Dict[str, float]
+    labels: Dict[str, str]
+    mos: float = 0.0
+    app_metrics: Dict[str, float] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def label(self, kind: str) -> str:
+        return self.labels[kind]
+
+
+class Dataset:
+    """A list of instances with a consistent feature-name universe."""
+
+    def __init__(self, instances: Sequence[Instance]):
+        self.instances: List[Instance] = list(instances)
+        names = set()
+        for inst in self.instances:
+            names.update(inst.features)
+        self.feature_names: List[str] = sorted(names)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable) -> "Dataset":
+        """Build from :class:`repro.testbed.testbed.SessionRecord` objects."""
+        instances = []
+        for record in records:
+            instances.append(
+                Instance(
+                    features=dict(record.features),
+                    labels={
+                        "severity": record.severity_label,
+                        "location": record.location_label,
+                        "exact": record.exact_label,
+                        "existence": (
+                            "good" if record.severity_label == "good" else "problematic"
+                        ),
+                    },
+                    mos=record.mos,
+                    app_metrics=dict(record.app_metrics),
+                    meta=dict(record.meta),
+                )
+            )
+        return cls(instances)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self):
+        return iter(self.instances)
+
+    def __getitem__(self, index: int) -> Instance:
+        return self.instances[index]
+
+    def labels(self, kind: str) -> np.ndarray:
+        return np.array([inst.label(kind) for inst in self.instances])
+
+    def to_matrix(self, feature_subset: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Dense (n, f) matrix; missing features are zero-filled."""
+        names = list(feature_subset) if feature_subset is not None else self.feature_names
+        out = np.zeros((len(self.instances), len(names)))
+        for i, inst in enumerate(self.instances):
+            feats = inst.features
+            for j, name in enumerate(names):
+                out[i, j] = feats.get(name, 0.0)
+        return out
+
+    def filter(self, predicate: Callable[[Instance], bool]) -> "Dataset":
+        return Dataset([inst for inst in self.instances if predicate(inst)])
+
+    def label_counts(self, kind: str) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for inst in self.instances:
+            label = inst.label(kind)
+            counts[label] = counts.get(label, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def merged_with(self, other: "Dataset") -> "Dataset":
+        return Dataset(self.instances + other.instances)

@@ -1,0 +1,259 @@
+"""The public diagnosis API: :class:`RootCauseAnalyzer`.
+
+This is what a downstream user deploys.  Fit once on a labelled campaign
+(or load the bundled lab campaign), then feed it the per-VP features of a
+live session::
+
+    analyzer = RootCauseAnalyzer(vps=("mobile",))
+    analyzer.fit(dataset)
+    report = analyzer.diagnose(session_features)
+    print(report.summary())
+
+The analyzer bundles the full pipeline of the paper: feature construction,
+FCBF feature selection and one C4.5 model per task (problem existence /
+severity, location, exact cause).  It degrades gracefully when only a
+subset of vantage points is available -- the central deployment property
+of Section 3.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.construction import FeatureConstructor
+from repro.core.dataset import Dataset
+from repro.core.selection import FeatureSelector
+from repro.core.vantage import ALL_VPS, combo_name, features_for_vps
+from repro.ml.tree import C45Tree
+
+_TASKS = ("severity", "location", "exact")
+
+_LOCATION_HINTS = {
+    "mobile": "the mobile device itself",
+    "lan": "the user's local network (LAN / wireless)",
+    "wan": "the ISP or content-provider network (WAN)",
+}
+
+_CAUSE_HINTS = {
+    "wan_congestion": "congestion on the WAN path",
+    "wan_shaping": "a bandwidth restriction on the WAN link",
+    "lan_congestion": "competing traffic in the local network",
+    "lan_shaping": "a bandwidth restriction in the local network",
+    "mobile_load": "high CPU/memory load on the device",
+    "low_rssi": "poor wireless signal reception",
+    "wifi_interference": "interference on the WiFi channel",
+}
+
+
+@dataclass
+class DiagnosisReport:
+    """Structured output of one diagnosis."""
+
+    severity: str
+    location: str
+    exact: str
+    vps: Sequence[str]
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def has_problem(self) -> bool:
+        return self.severity != "good"
+
+    @property
+    def cause(self) -> str:
+        if self.exact == "good":
+            return "none"
+        return self.exact.rsplit("_", 1)[0]
+
+    @property
+    def problem_location(self) -> str:
+        if self.location == "good":
+            return "none"
+        return self.location.rsplit("_", 1)[0]
+
+    def summary(self) -> str:
+        if not self.has_problem and self.exact == "good":
+            return f"[{combo_name(self.vps)}] QoE is good; no fault detected."
+        cause = _CAUSE_HINTS.get(self.cause, self.cause)
+        where = _LOCATION_HINTS.get(self.problem_location, self.problem_location)
+        return (
+            f"[{combo_name(self.vps)}] {self.severity} QoE degradation; "
+            f"root cause: {cause}; located at {where}."
+        )
+
+
+class RootCauseAnalyzer:
+    """End-to-end RCA pipeline bound to a set of vantage points."""
+
+    def __init__(
+        self,
+        vps: Sequence[str] = ALL_VPS,
+        model_factory: Callable[[], object] = None,
+        fs_delta: float = 0.01,
+        select: bool = True,
+    ):
+        unknown = set(vps) - set(ALL_VPS)
+        if unknown:
+            raise ValueError(f"unknown vantage points: {sorted(unknown)}")
+        if not vps:
+            raise ValueError("need at least one vantage point")
+        self.vps = tuple(vps)
+        self.model_factory = model_factory or (lambda: C45Tree(min_leaf=2, cf=0.25))
+        self.fs_delta = fs_delta
+        self.select = select
+        self.constructor: Optional[FeatureConstructor] = None
+        self.models: Dict[str, object] = {}
+        self.features: Dict[str, List[str]] = {}
+        self.fitted = False
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, dataset: Dataset) -> "RootCauseAnalyzer":
+        """Train the three task models on a labelled campaign dataset."""
+        if len(dataset) < 20:
+            raise ValueError("dataset too small to train a meaningful model")
+        self.constructor = FeatureConstructor().fit(dataset)
+        data = self.constructor.transform(dataset)
+        scoped = features_for_vps(data.feature_names, self.vps)
+        for task in _TASKS:
+            names = scoped
+            if self.select:
+                selector = FeatureSelector(delta=self.fs_delta)
+                selector.fit(data, label_kind=task, feature_names=scoped)
+                names = selector.selected or scoped
+            model = self.model_factory()
+            model.fit(data.to_matrix(names), data.labels(task), feature_names=names)
+            self.models[task] = model
+            self.features[task] = list(names)
+        self.fitted = True
+        return self
+
+    # -------------------------------------------------------------- diagnose
+
+    def diagnose(
+        self,
+        features: Dict[str, float],
+        session_s: Optional[float] = None,
+    ) -> DiagnosisReport:
+        """Diagnose one session from its raw probe features."""
+        if not self.fitted:
+            raise RuntimeError("analyzer must be fit first")
+        constructed = self.constructor.transform_features(features)
+        if session_s and session_s > 0:
+            for vp in ALL_VPS:
+                key = f"{vp}_tcp_flow_duration"
+                if key in constructed:
+                    constructed[f"{key}_norm"] = constructed[key] / session_s
+        predictions: Dict[str, str] = {}
+        for task in _TASKS:
+            row = [constructed.get(n, 0.0) for n in self.features[task]]
+            predictions[task] = str(self.models[task].predict_one(row))
+        return DiagnosisReport(
+            severity=predictions["severity"],
+            location=predictions["location"],
+            exact=predictions["exact"],
+            vps=self.vps,
+            details={"used_features": {t: self.features[t] for t in _TASKS}},
+        )
+
+    def diagnose_record(self, record) -> DiagnosisReport:
+        """Convenience: diagnose a :class:`SessionRecord` or Instance."""
+        session = float(
+            getattr(record, "meta", {}).get("session_s", 0.0) or 0.0
+        )
+        return self.diagnose(dict(record.features), session_s=session)
+
+    # ------------------------------------------------------------ inspection
+
+    def selected_features(self, task: str = "exact") -> List[str]:
+        if not self.fitted:
+            raise RuntimeError("analyzer must be fit first")
+        return list(self.features[task])
+
+    def model_text(self, task: str = "exact", max_depth: int = 5) -> str:
+        """The interpretable tree (an advantage the paper claims for C4.5)."""
+        model = self.models.get(task)
+        if model is None or not hasattr(model, "to_text"):
+            raise RuntimeError("no interpretable model for this task")
+        return model.to_text(max_depth=max_depth)
+
+    def explain(
+        self,
+        features: Dict[str, float],
+        task: str = "exact",
+        session_s: Optional[float] = None,
+    ):
+        """Why a session gets its label: the C4.5 decision path.
+
+        Returns ``(label, [Condition, ...])``; each condition shows the
+        feature, the threshold and the session's actual value -- the
+        evidence an operator can act on.
+        """
+        from repro.ml.rules import decision_path
+
+        if not self.fitted:
+            raise RuntimeError("analyzer must be fit first")
+        constructed = self.constructor.transform_features(features)
+        if session_s and session_s > 0:
+            for vp in ALL_VPS:
+                key = f"{vp}_tcp_flow_duration"
+                if key in constructed:
+                    constructed[f"{key}_norm"] = constructed[key] / session_s
+        model = self.models[task]
+        row = [constructed.get(n, 0.0) for n in self.features[task]]
+        label = str(model.predict_one(row))
+        return label, decision_path(model, row)
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path) -> None:
+        """Persist the trained pipeline as JSON (no pickled code).
+
+        The export carries the per-task C4.5 trees, their feature lists and
+        the feature-construction state (per-NIC maxima), so a lab-trained
+        analyzer can be shipped to probes and reloaded with :meth:`load`.
+        """
+        from repro.ml.export import tree_to_dict
+
+        if not self.fitted:
+            raise RuntimeError("analyzer must be fit before saving")
+        payload = {
+            "format": "repro-analyzer-v1",
+            "vps": list(self.vps),
+            "fs_delta": self.fs_delta,
+            "select": self.select,
+            "nic_max_rates": self.constructor.nic_max_rates,
+            "tasks": {
+                task: {
+                    "features": self.features[task],
+                    "tree": tree_to_dict(self.models[task]),
+                }
+                for task in _TASKS
+            },
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "RootCauseAnalyzer":
+        """Reload an analyzer saved by :meth:`save`."""
+        from repro.ml.export import tree_from_dict
+
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != "repro-analyzer-v1":
+            raise ValueError("not a repro analyzer export")
+        analyzer = cls(
+            vps=tuple(payload["vps"]),
+            fs_delta=payload.get("fs_delta", 0.01),
+            select=payload.get("select", True),
+        )
+        analyzer.constructor = FeatureConstructor()
+        analyzer.constructor._nic_max_rates = dict(payload["nic_max_rates"])
+        analyzer.constructor.fitted = True
+        for task, blob in payload["tasks"].items():
+            analyzer.features[task] = list(blob["features"])
+            analyzer.models[task] = tree_from_dict(blob["tree"])
+        analyzer.fitted = True
+        return analyzer

@@ -1,0 +1,109 @@
+"""Training-data drift detection.
+
+Section 6 observes that "smaller differences in the detection of some
+problems emphasize the importance of continuous training".  Knowing *when*
+to retrain requires noticing that live traffic no longer looks like the
+training distribution.  :class:`DriftMonitor` fits per-feature empirical
+distributions on the training dataset (restricted to the features the
+model actually uses) and scores new batches with a two-sample
+Kolmogorov-Smirnov statistic; features whose KS distance exceeds a
+threshold are reported as drifted, and the aggregate share of drifted
+features gates a retrain recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+
+
+def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov distance in [0, 1]."""
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    values = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, values, side="right") / len(a)
+    cdf_b = np.searchsorted(b, values, side="right") / len(b)
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+@dataclass
+class DriftReport:
+    """Outcome of scoring one batch against the training distribution."""
+
+    per_feature: Dict[str, float] = field(default_factory=dict)
+    threshold: float = 0.35
+    retrain_share: float = 0.3
+
+    @property
+    def drifted(self) -> List[str]:
+        return sorted(
+            (name for name, ks in self.per_feature.items()
+             if ks > self.threshold),
+            key=lambda n: -self.per_feature[n],
+        )
+
+    @property
+    def drift_share(self) -> float:
+        if not self.per_feature:
+            return 0.0
+        return len(self.drifted) / len(self.per_feature)
+
+    @property
+    def should_retrain(self) -> bool:
+        return self.drift_share >= self.retrain_share
+
+    def to_text(self) -> str:
+        lines = ["== Drift report =="]
+        lines.append(f"features monitored: {len(self.per_feature)}; "
+                     f"drifted: {len(self.drifted)} "
+                     f"({self.drift_share * 100:.0f}%)")
+        lines.append(f"retrain recommended: {self.should_retrain}")
+        for name in self.drifted[:8]:
+            lines.append(f"  {name:<44} KS={self.per_feature[name]:.2f}")
+        return "\n".join(lines)
+
+
+class DriftMonitor:
+    """Compares live feature batches against a training reference."""
+
+    def __init__(
+        self,
+        features: Optional[Sequence[str]] = None,
+        threshold: float = 0.35,
+        retrain_share: float = 0.3,
+    ):
+        self.feature_names = list(features) if features else None
+        self.threshold = threshold
+        self.retrain_share = retrain_share
+        self._reference: Dict[str, np.ndarray] = {}
+        self.fitted = False
+
+    def fit(self, dataset: Dataset) -> "DriftMonitor":
+        names = self.feature_names or dataset.feature_names
+        matrix = dataset.to_matrix(names)
+        self._reference = {
+            name: matrix[:, j].copy() for j, name in enumerate(names)
+        }
+        self.feature_names = list(names)
+        self.fitted = True
+        return self
+
+    def score(self, batch: Dataset) -> DriftReport:
+        """KS distance of every monitored feature for ``batch``."""
+        if not self.fitted:
+            raise RuntimeError("monitor must be fit first")
+        matrix = batch.to_matrix(self.feature_names)
+        report = DriftReport(threshold=self.threshold,
+                             retrain_share=self.retrain_share)
+        for j, name in enumerate(self.feature_names):
+            report.per_feature[name] = ks_statistic(
+                self._reference[name], matrix[:, j]
+            )
+        return report

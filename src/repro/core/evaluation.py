@@ -1,0 +1,169 @@
+"""Evaluation protocol of Sections 5 and 6.
+
+Two modes:
+
+* :func:`evaluate_cv` -- the controlled-experiment protocol: feature
+  construction + FCBF selection on the dataset, then stratified 10-fold
+  cross-validation of a C4.5 tree, per vantage-point combination.
+* :func:`evaluate_transfer` -- the real-world protocol: fit everything on
+  the (lab) training dataset, apply the frozen pipeline to a different
+  (wild) dataset and score the predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.construction import FeatureConstructor
+from repro.core.dataset import Dataset
+from repro.core.selection import FeatureSelector
+from repro.core.vantage import combo_name, features_for_vps
+from repro.ml.cross_validation import cross_validate
+from repro.ml.metrics import ConfusionMatrix
+from repro.ml.tree import C45Tree
+
+
+def default_model_factory() -> C45Tree:
+    return C45Tree(min_leaf=2, cf=0.25)
+
+
+@dataclass
+class EvalResult:
+    """Outcome of one evaluation run."""
+
+    label_kind: str
+    vps: Sequence[str]
+    confusion: ConfusionMatrix
+    selected_features: List[str] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return self.confusion.accuracy
+
+    @property
+    def name(self) -> str:
+        return combo_name(self.vps)
+
+    def summary(self) -> str:
+        lines = [
+            f"[{self.name}] task={self.label_kind} "
+            f"accuracy={self.accuracy:.3f} "
+            f"precision={self.confusion.weighted_precision():.3f} "
+            f"recall={self.confusion.weighted_recall():.3f} "
+            f"({len(self.selected_features)} features)"
+        ]
+        for label, stats in self.confusion.per_class().items():
+            if stats["support"] == 0:
+                continue
+            lines.append(
+                f"    {label:<28} P={stats['precision']:.2f} "
+                f"R={stats['recall']:.2f} n={stats['support']}"
+            )
+        return "\n".join(lines)
+
+
+def prepare(
+    dataset: Dataset,
+    construct: bool = True,
+) -> Dataset:
+    """Apply feature construction (fit on the dataset itself)."""
+    if not construct:
+        return dataset
+    return FeatureConstructor().fit_transform(dataset)
+
+
+def evaluate_cv(
+    dataset: Dataset,
+    label_kind: str,
+    vps: Sequence[str],
+    model_factory: Callable[[], object] = default_model_factory,
+    k: int = 10,
+    seed: int = 0,
+    construct: bool = True,
+    select: bool = True,
+    feature_subset: Optional[Sequence[str]] = None,
+    fs_delta: float = 0.01,
+) -> EvalResult:
+    """FC + FS + stratified k-fold CV restricted to ``vps``.
+
+    ``feature_subset`` (raw names) bypasses VP filtering when given -- the
+    Figure 5 feature-set study uses it.
+    """
+    data = prepare(dataset, construct=construct)
+    if feature_subset is not None:
+        names = [n for n in data.feature_names if n in set(feature_subset)]
+    else:
+        names = features_for_vps(data.feature_names, vps)
+    if select:
+        selector = FeatureSelector(delta=fs_delta)
+        selector.fit(data, label_kind=label_kind, feature_names=names)
+        names = selector.selected or names
+    X = data.to_matrix(names)
+    y = data.labels(label_kind)
+    cm = cross_validate(model_factory, X, y, k=k, seed=seed, feature_names=names)
+    return EvalResult(
+        label_kind=label_kind,
+        vps=tuple(vps),
+        confusion=cm,
+        selected_features=list(names),
+        meta={"n_instances": len(data), "k": k},
+    )
+
+
+def evaluate_transfer(
+    train: Dataset,
+    test: Dataset,
+    label_kind: str,
+    vps: Sequence[str],
+    model_factory: Callable[[], object] = default_model_factory,
+    construct: bool = True,
+    select: bool = True,
+    fs_delta: float = 0.01,
+    test_label_kind: Optional[str] = None,
+) -> EvalResult:
+    """Train on ``train`` (lab), evaluate on ``test`` (real world).
+
+    The feature constructor and the FCBF selection are fit on the training
+    data only and then frozen, matching the Section 6 protocol.
+    ``test_label_kind`` allows scoring a coarser task on the test side
+    (e.g. exact-cause model scored on good/problematic in Section 6.2).
+    """
+    constructor = FeatureConstructor().fit(train) if construct else None
+    train_data = constructor.transform(train) if constructor else train
+    test_data = constructor.transform(test) if constructor else test
+
+    names = features_for_vps(train_data.feature_names, vps)
+    if select:
+        selector = FeatureSelector(delta=fs_delta)
+        selector.fit(train_data, label_kind=label_kind, feature_names=names)
+        names = selector.selected or names
+
+    model = model_factory()
+    model.fit(train_data.to_matrix(names), train_data.labels(label_kind),
+              feature_names=names)
+    predictions = model.predict(test_data.to_matrix(names))
+    truth_kind = test_label_kind or label_kind
+    truth = test_data.labels(truth_kind)
+    if truth_kind != label_kind:
+        # Collapse fine-grained predictions onto the coarse truth labels.
+        predictions = np.where(
+            predictions == "good", "good", "problematic"
+        ) if truth_kind == "existence" else predictions
+    labels = sorted(set(truth) | set(predictions))
+    cm = ConfusionMatrix(labels)
+    cm.update(truth, predictions)
+    return EvalResult(
+        label_kind=label_kind,
+        vps=tuple(vps),
+        confusion=cm,
+        selected_features=list(names),
+        meta={
+            "n_train": len(train_data),
+            "n_test": len(test_data),
+            "scored_as": truth_kind,
+        },
+    )

@@ -1,0 +1,110 @@
+"""Operator-facing QoE reports.
+
+The practical-implications section (Section 7) sketches what each entity
+does with diagnoses: users troubleshoot, ISPs find problematic segments,
+providers spot loaded servers and bad peerings.  This module turns a batch
+of diagnosed sessions into the summary such an operator would actually
+read: QoE distribution, blame-by-segment, top causes, and the worst
+sessions with their evidence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.diagnosis import DiagnosisReport, RootCauseAnalyzer
+
+_SEVERITY_ORDER = {"good": 0, "mild": 1, "severe": 2}
+
+
+@dataclass
+class FleetReport:
+    """Aggregated diagnosis of a batch of sessions."""
+
+    n_sessions: int = 0
+    severity_counts: Dict[str, int] = field(default_factory=dict)
+    cause_counts: Dict[str, int] = field(default_factory=dict)
+    location_counts: Dict[str, int] = field(default_factory=dict)
+    mean_mos: float = 0.0
+    worst: List[Tuple[int, float, DiagnosisReport]] = field(default_factory=list)
+    agreement: Optional[float] = None  # vs ground truth, when available
+
+    @property
+    def problem_rate(self) -> float:
+        if self.n_sessions == 0:
+            return 0.0
+        good = self.severity_counts.get("good", 0)
+        return 1.0 - good / self.n_sessions
+
+    def to_text(self) -> str:
+        lines = ["== Fleet QoE report =="]
+        lines.append(f"sessions: {self.n_sessions}   mean MOS: {self.mean_mos:.2f}   "
+                     f"problem rate: {self.problem_rate * 100:.0f}%")
+        lines.append("QoE: " + "  ".join(
+            f"{sev}={self.severity_counts.get(sev, 0)}"
+            for sev in ("good", "mild", "severe")
+        ))
+        if self.agreement is not None:
+            lines.append(f"agreement with ground truth: {self.agreement * 100:.0f}%")
+        if self.location_counts:
+            lines.append("blame by segment:")
+            for segment, count in sorted(self.location_counts.items(),
+                                         key=lambda kv: -kv[1]):
+                lines.append(f"  {segment:<10} {count}")
+        if self.cause_counts:
+            lines.append("top causes:")
+            for cause, count in sorted(self.cause_counts.items(),
+                                       key=lambda kv: -kv[1])[:6]:
+                lines.append(f"  {cause:<22} {count}")
+        if self.worst:
+            lines.append("worst sessions:")
+            for index, mos, report in self.worst:
+                lines.append(f"  #{index:<5} MOS={mos:.2f}  {report.summary()}")
+        return "\n".join(lines)
+
+
+def fleet_report(
+    analyzer: RootCauseAnalyzer,
+    sessions: Dataset,
+    worst_k: int = 5,
+) -> FleetReport:
+    """Diagnose every session and aggregate the operator view."""
+    report = FleetReport(n_sessions=len(sessions))
+    severities = Counter()
+    causes = Counter()
+    locations = Counter()
+    scored: List[Tuple[int, float, DiagnosisReport]] = []
+    agree = 0
+    mos_sum = 0.0
+    for index, inst in enumerate(sessions):
+        diagnosis = analyzer.diagnose_record(inst)
+        severities[diagnosis.severity] += 1
+        if diagnosis.has_problem:
+            causes[diagnosis.cause] += 1
+            locations[diagnosis.problem_location] += 1
+        mos_sum += inst.mos
+        scored.append((index, inst.mos, diagnosis))
+        if diagnosis.severity == inst.label("severity"):
+            agree += 1
+    report.severity_counts = dict(severities)
+    report.cause_counts = dict(causes)
+    report.location_counts = dict(locations)
+    report.mean_mos = mos_sum / max(1, len(sessions))
+    report.agreement = agree / max(1, len(sessions))
+    scored.sort(key=lambda item: item[1])
+    report.worst = scored[:worst_k]
+    return report
+
+
+def segment_scorecard(reports: Sequence[DiagnosisReport]) -> Dict[str, float]:
+    """Share of diagnosed problems per path segment (ISP dashboards)."""
+    locations = Counter(
+        r.problem_location for r in reports if r.has_problem
+    )
+    total = sum(locations.values())
+    if total == 0:
+        return {}
+    return {segment: count / total for segment, count in locations.items()}

@@ -1,0 +1,53 @@
+"""Vantage-point scoping of the feature space.
+
+Every feature name is prefixed ``<vp>_<layer>_...`` by the testbed probe
+assembly; restricting the model to a VP subset is therefore a column
+filter.  This realises the paper's deployment matrix: "each entity with a
+deployed probe [can] diagnose problems ... separately without requiring
+information from other contributors" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+ALL_VPS: Tuple[str, ...] = ("mobile", "router", "server")
+
+#: the VP combinations evaluated in the paper's figures
+STANDARD_COMBOS = (
+    ("mobile",),
+    ("router",),
+    ("server",),
+    ("mobile", "router", "server"),
+)
+
+
+def vp_of_feature(name: str) -> str:
+    """The vantage point owning a feature (its name prefix)."""
+    vp = name.split("_", 1)[0]
+    if vp not in ALL_VPS:
+        raise ValueError(f"feature {name!r} has no vantage-point prefix")
+    return vp
+
+
+def layer_of_feature(name: str) -> str:
+    """The probe layer: tcp / hw / radio / link variants."""
+    parts = name.split("_", 2)
+    if len(parts) < 2:
+        raise ValueError(f"feature {name!r} has no layer component")
+    return parts[1]
+
+
+def features_for_vps(names: Sequence[str], vps: Sequence[str]) -> List[str]:
+    """Subset of ``names`` observable by the given vantage points."""
+    wanted = set(vps)
+    unknown = wanted - set(ALL_VPS)
+    if unknown:
+        raise ValueError(f"unknown vantage points: {sorted(unknown)}")
+    return [n for n in names if vp_of_feature(n) in wanted]
+
+
+def combo_name(vps: Sequence[str]) -> str:
+    if set(vps) == set(ALL_VPS):
+        return "combined"
+    return "+".join(vps)

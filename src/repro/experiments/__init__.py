@@ -1,0 +1,23 @@
+"""Experiment drivers: one per table/figure of the paper.
+
+Each driver returns a plain-data result object and offers a ``to_text()``
+rendering that prints the same rows/series as the paper's table or figure.
+Benchmarks and examples share these drivers; datasets are generated once
+per configuration and cached on disk (see :mod:`repro.experiments.common`).
+"""
+
+from repro.experiments.common import (
+    REPRO_SCALE,
+    controlled_dataset,
+    realworld_dataset,
+    scaled,
+    wild_dataset,
+)
+
+__all__ = [
+    "REPRO_SCALE",
+    "controlled_dataset",
+    "realworld_dataset",
+    "wild_dataset",
+    "scaled",
+]

@@ -1,0 +1,73 @@
+"""Section 5.1 / Figure 3: who can detect the *existence* of a problem?
+
+Labels are aggregated to good/mild/severe and a model is cross-validated
+per vantage point and for the combination.  The paper reports accuracies
+of 88.1% (mobile), 86.4% (router), 85.6% (server) and 88.8% (combined),
+with every VP detecting *good* sessions well but the router/server probes
+struggling to separate mild from severe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.evaluation import EvalResult, evaluate_cv
+from repro.core.vantage import STANDARD_COMBOS, combo_name
+
+SEVERITY_ORDER = ("good", "mild", "severe")
+
+
+@dataclass
+class DetectionResult:
+    """Figure 3 payload: per-VP accuracy plus per-class P/R bars."""
+
+    label_kind: str
+    results: Dict[str, EvalResult] = field(default_factory=dict)
+
+    @property
+    def accuracies(self) -> Dict[str, float]:
+        return {name: res.accuracy for name, res in self.results.items()}
+
+    def bars(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """{class: {vp: {precision, recall}}} -- the Figure 3 bar groups."""
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for name, res in self.results.items():
+            for label in res.confusion.labels:
+                out.setdefault(str(label), {})[name] = {
+                    "precision": res.confusion.precision(label),
+                    "recall": res.confusion.recall(label),
+                }
+        return out
+
+    def to_text(self) -> str:
+        lines = [f"== Problem detection ({self.label_kind}) =="]
+        lines.append(
+            "accuracy: "
+            + "  ".join(f"{n}={a * 100:.1f}%" for n, a in self.accuracies.items())
+        )
+        bars = self.bars()
+        for label in SEVERITY_ORDER:
+            if label not in bars:
+                continue
+            lines.append(f"  class {label}:")
+            for vp, stats in bars[label].items():
+                lines.append(
+                    f"    {vp:<10} P={stats['precision']:.2f} R={stats['recall']:.2f}"
+                )
+        return "\n".join(lines)
+
+
+def run_detection(
+    dataset: Dataset,
+    combos: Sequence[Sequence[str]] = STANDARD_COMBOS,
+    k: int = 10,
+    seed: int = 0,
+) -> DetectionResult:
+    """Run the Figure 3 experiment on ``dataset``."""
+    result = DetectionResult(label_kind="severity")
+    for vps in combos:
+        res = evaluate_cv(dataset, "severity", vps, k=k, seed=seed)
+        result.results[combo_name(vps)] = res
+    return result

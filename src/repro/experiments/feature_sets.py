@@ -1,0 +1,141 @@
+"""Section 5.4 / Figure 5: which features help?
+
+The combined-VP model is evaluated with seven different inputs: RSSI only,
+hardware metrics only, interface utilisation only, network delay (RTT)
+only, TCP metrics, all features, and the FS+FC pipeline.  The paper's
+ordering -- RSSI < hardware < utilisation < delay < all < FS&FC -- is the
+shape this experiment reproduces, plus an explicit FC/FS ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.evaluation import EvalResult, evaluate_cv, prepare
+from repro.core.vantage import ALL_VPS
+
+FEATURE_SET_ORDER = (
+    "rssi",
+    "hw",
+    "utilization",
+    "delay",
+    "tcp",
+    "all",
+    "fs_fc",
+)
+
+
+def _feature_subsets(names: Sequence[str]) -> Dict[str, List[str]]:
+    """Partition the (constructed) feature space into the Fig. 5 groups."""
+    subsets: Dict[str, List[str]] = {
+        "rssi": [n for n in names if "radio_rssi" in n],
+        # the paper's "HW" bar is *mobile* hardware metrics only
+        "hw": [n for n in names if n.startswith("mobile_hw_")],
+        "utilization": [n for n in names if n.endswith("_util")],
+        "delay": [n for n in names if "_rtt_" in n or n.endswith("handshake_rtt")],
+        "tcp": [n for n in names if "_tcp_" in n and not n.endswith("_norm")],
+    }
+    return subsets
+
+
+@dataclass
+class FeatureSetResult:
+    results: Dict[str, EvalResult] = field(default_factory=dict)
+
+    @property
+    def accuracies(self) -> Dict[str, float]:
+        return {name: res.accuracy for name, res in self.results.items()}
+
+    def series(self) -> List:
+        """(set name, precision, recall) in the paper's x-axis order."""
+        out = []
+        for name in FEATURE_SET_ORDER:
+            if name not in self.results:
+                continue
+            cm = self.results[name].confusion
+            out.append((name, cm.weighted_precision(), cm.weighted_recall()))
+        return out
+
+    def to_text(self) -> str:
+        lines = ["== Feature-set study (Figure 5) =="]
+        for name, precision, recall in self.series():
+            acc = self.results[name].accuracy
+            nfeat = len(self.results[name].selected_features)
+            lines.append(
+                f"  {name:<12} acc={acc * 100:5.1f}%  P={precision:.2f} "
+                f"R={recall:.2f}  ({nfeat} features)"
+            )
+        return "\n".join(lines)
+
+
+def run_feature_sets(
+    dataset: Dataset,
+    label_kind: str = "exact",
+    k: int = 10,
+    seed: int = 0,
+) -> FeatureSetResult:
+    """Run the Figure 5 experiment (combined VPs, seven inputs)."""
+    result = FeatureSetResult()
+    constructed = prepare(dataset)
+    subsets = _feature_subsets(constructed.feature_names)
+    for name, subset in subsets.items():
+        if not subset:
+            continue
+        result.results[name] = evaluate_cv(
+            dataset, label_kind, ALL_VPS, k=k, seed=seed,
+            construct=True, select=False, feature_subset=subset,
+        )
+    # All raw features, no FC / no FS.
+    raw_names = [n for n in dataset.feature_names]
+    result.results["all"] = evaluate_cv(
+        dataset, label_kind, ALL_VPS, k=k, seed=seed,
+        construct=False, select=False, feature_subset=raw_names,
+    )
+    # The full pipeline: FC + FCBF selection.
+    result.results["fs_fc"] = evaluate_cv(
+        dataset, label_kind, ALL_VPS, k=k, seed=seed,
+        construct=True, select=True,
+    )
+    return result
+
+
+@dataclass
+class AblationResult:
+    """FC/FS ablation: the Section 5.4 claim that both steps matter."""
+
+    results: Dict[str, EvalResult] = field(default_factory=dict)
+
+    @property
+    def accuracies(self) -> Dict[str, float]:
+        return {name: res.accuracy for name, res in self.results.items()}
+
+    def to_text(self) -> str:
+        lines = ["== FC/FS ablation =="]
+        for name, res in self.results.items():
+            lines.append(
+                f"  {name:<12} acc={res.accuracy * 100:5.1f}% "
+                f"({len(res.selected_features)} features)"
+            )
+        return "\n".join(lines)
+
+
+def run_fc_fs_ablation(
+    dataset: Dataset,
+    label_kind: str = "exact",
+    k: int = 10,
+    seed: int = 0,
+) -> AblationResult:
+    result = AblationResult()
+    grid = {
+        "raw": dict(construct=False, select=False),
+        "fc_only": dict(construct=True, select=False),
+        "fs_only": dict(construct=False, select=True),
+        "fc_fs": dict(construct=True, select=True),
+    }
+    for name, kwargs in grid.items():
+        result.results[name] = evaluate_cv(
+            dataset, label_kind, ALL_VPS, k=k, seed=seed, **kwargs
+        )
+    return result

@@ -1,0 +1,94 @@
+"""Section 5.2: who can detect a problem's *location*?
+
+Labels aggregate to {mobile, lan, wan} x {mild, severe} plus good.  The
+paper highlights that the server VP localises LAN problems almost as well
+as the router (both lean on RTT, first-packet-arrival and
+retransmissions), and that VP *pairs* add little.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.evaluation import EvalResult, evaluate_cv
+from repro.core.vantage import STANDARD_COMBOS, combo_name
+from repro.ml.ranking import per_label_ranking
+
+
+@dataclass
+class LocationResult:
+    results: Dict[str, EvalResult] = field(default_factory=dict)
+    #: top features for LAN-problem detection per VP (the paper inspects
+    #: why the server localises LAN issues)
+    lan_rankings: Dict[str, List[Tuple[str, float]]] = field(default_factory=dict)
+
+    @property
+    def accuracies(self) -> Dict[str, float]:
+        return {name: res.accuracy for name, res in self.results.items()}
+
+    def location_recall(self, location: str) -> Dict[str, float]:
+        """Recall of ``location`` problems (any severity) per VP combo."""
+        out = {}
+        for name, res in self.results.items():
+            cm = res.confusion
+            hits = 0
+            total = 0
+            for label in cm.labels:
+                if not str(label).startswith(location):
+                    continue
+                i = cm._index[label]
+                row = cm.matrix[i]
+                total += row.sum()
+                hits += sum(
+                    row[cm._index[p]]
+                    for p in cm.labels
+                    if str(p).startswith(location)
+                )
+            out[name] = hits / total if total else 0.0
+        return out
+
+    def to_text(self) -> str:
+        lines = ["== Problem location (Section 5.2) =="]
+        lines.append(
+            "accuracy: "
+            + "  ".join(f"{n}={a * 100:.1f}%" for n, a in self.accuracies.items())
+        )
+        for location in ("mobile", "lan", "wan"):
+            recall = self.location_recall(location)
+            lines.append(
+                f"  {location:<7} recall: "
+                + "  ".join(f"{n}={v:.2f}" for n, v in recall.items())
+            )
+        for vp, ranked in self.lan_rankings.items():
+            names = ", ".join(f"{n} ({g:.2f})" for n, g in ranked)
+            lines.append(f"  top LAN features @{vp}: {names}")
+        return "\n".join(lines)
+
+
+def run_location(
+    dataset: Dataset,
+    combos: Sequence[Sequence[str]] = STANDARD_COMBOS,
+    k: int = 10,
+    seed: int = 0,
+) -> LocationResult:
+    result = LocationResult()
+    for vps in combos:
+        res = evaluate_cv(dataset, "location", vps, k=k, seed=seed)
+        result.results[combo_name(vps)] = res
+    # Why can the server see LAN problems?  Rank features for the binary
+    # "is this a LAN problem" question per single VP.
+    from repro.core.evaluation import prepare
+    from repro.core.vantage import features_for_vps
+    import numpy as np
+
+    data = prepare(dataset)
+    y = data.labels("location")
+    binary = np.where(np.char.startswith(y.astype(str), "lan"), "lan", "other")
+    for vp in ("router", "server"):
+        names = features_for_vps(data.feature_names, [vp])
+        X = data.to_matrix(names)
+        ranked = per_label_ranking(X, binary, names, top_k=3, positive_labels=["lan"])
+        result.lan_rankings[vp] = ranked["lan"]
+    return result

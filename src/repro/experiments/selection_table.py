@@ -1,0 +1,80 @@
+"""Table 1: the features surviving Feature Selection.
+
+The paper's FCBF run reduces 354 features to 22, dominated by interface
+utilisations and the mobile hardware metrics (free memory, CPU, RSSI).
+This driver reports the selected set, its size and the SU ranking so the
+composition can be compared with Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.evaluation import prepare
+from repro.core.selection import FeatureSelector
+from repro.core.vantage import vp_of_feature
+
+
+@dataclass
+class SelectionResult:
+    n_before: int
+    selected: List[str]
+    su_ranking: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def n_after(self) -> int:
+        return len(self.selected)
+
+    def by_vantage_point(self) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {"mobile": [], "router": [], "server": []}
+        for name in self.selected:
+            out[vp_of_feature(name)].append(name)
+        return out
+
+    def category_counts(self) -> Dict[str, int]:
+        counts = {"utilization": 0, "hardware": 0, "rssi": 0, "rtt": 0,
+                  "tcp_counters": 0, "other": 0}
+        for name in self.selected:
+            if name.endswith("_util"):
+                counts["utilization"] += 1
+            elif "_hw_" in name:
+                counts["hardware"] += 1
+            elif "rssi" in name:
+                counts["rssi"] += 1
+            elif "rtt" in name:
+                counts["rtt"] += 1
+            elif "_tcp_" in name:
+                counts["tcp_counters"] += 1
+            else:
+                counts["other"] += 1
+        return counts
+
+    def to_text(self) -> str:
+        lines = [
+            "== Feature selection (Table 1) ==",
+            f"features before FS: {self.n_before}",
+            f"features after FS:  {self.n_after}",
+            f"categories: {self.category_counts()}",
+        ]
+        for vp, names in self.by_vantage_point().items():
+            lines.append(f"  {vp} ({len(names)}):")
+            for name in names:
+                lines.append(f"    {name}")
+        return "\n".join(lines)
+
+
+def run_selection(
+    dataset: Dataset,
+    label_kind: str = "exact",
+    delta: float = 0.01,
+) -> SelectionResult:
+    data = prepare(dataset)
+    selector = FeatureSelector(delta=delta)
+    selector.fit(data, label_kind=label_kind)
+    return SelectionResult(
+        n_before=len(data.feature_names),
+        selected=selector.selected,
+        su_ranking=selector.ranked_su(top=40),
+    )

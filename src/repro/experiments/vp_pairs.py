@@ -1,0 +1,62 @@
+"""Section 5.2's pair study: do VP *pairs* help locate problems?
+
+"We also evaluated the benefits of using VP pairs for location detection.
+However, we did not observe any significant improvement in accuracy nor
+any intriguing result."  This driver evaluates every single VP, every
+pair, and the triple on the location task and reports the pairwise gain
+over the better member of each pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.evaluation import EvalResult, evaluate_cv
+from repro.core.vantage import combo_name
+
+SINGLES = (("mobile",), ("router",), ("server",))
+PAIRS = (("mobile", "router"), ("mobile", "server"), ("router", "server"))
+TRIPLE = (("mobile", "router", "server"),)
+
+
+@dataclass
+class VpPairResult:
+    results: Dict[str, EvalResult] = field(default_factory=dict)
+
+    @property
+    def accuracies(self) -> Dict[str, float]:
+        return {name: res.accuracy for name, res in self.results.items()}
+
+    def pair_gains(self) -> List[Tuple[str, float]]:
+        """Accuracy of each pair minus its best single member."""
+        acc = self.accuracies
+        gains = []
+        for pair in PAIRS:
+            name = combo_name(pair)
+            best_single = max(acc[vp] for vp in pair)
+            gains.append((name, acc[name] - best_single))
+        return gains
+
+    @property
+    def max_pair_gain(self) -> float:
+        return max(gain for _name, gain in self.pair_gains())
+
+    def to_text(self) -> str:
+        lines = ["== VP pairs for location detection (Section 5.2) =="]
+        for name, accuracy in self.accuracies.items():
+            lines.append(f"  {name:<16} acc={accuracy * 100:5.1f}%")
+        lines.append("pair gain over best member:")
+        for name, gain in self.pair_gains():
+            lines.append(f"  {name:<16} {gain * 100:+.1f} points")
+        return "\n".join(lines)
+
+
+def run_vp_pairs(dataset: Dataset, k: int = 10, seed: int = 0) -> VpPairResult:
+    result = VpPairResult()
+    for vps in (*SINGLES, *PAIRS, *TRIPLE):
+        result.results[combo_name(vps)] = evaluate_cv(
+            dataset, "location", vps, k=k, seed=seed
+        )
+    return result

@@ -1,0 +1,210 @@
+"""Section 6.2 / Figures 8-9 / Table 5: deployment without induced faults.
+
+Three analyses on the wild dataset (3G-dominant, no router VP on cellular
+paths, only good/problematic ground truth):
+
+* **Figure 8** -- problem detection per available VP set (mobile, server,
+  mobile+server), scoring the lab-trained severity model on the binary
+  good/problematic truth.
+* **Table 5** -- the lab exact-cause model's predictions over the wild
+  problematic sessions, tabulated by cause and severity.
+* **Figure 9** -- validation of the *server* VP's mobile-side inferences:
+  distribution of the true device CPU (and true RSSI) for sessions the
+  server VP did / did not flag as mobile-load (low-RSSI), using ground
+  truth only the testbed knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.construction import FeatureConstructor
+from repro.core.dataset import Dataset
+from repro.core.evaluation import EvalResult, evaluate_transfer
+from repro.core.selection import FeatureSelector
+from repro.core.vantage import combo_name, features_for_vps
+from repro.ml.tree import C45Tree
+
+WILD_COMBOS = (("mobile",), ("server",), ("mobile", "server"))
+
+
+@dataclass
+class WildDetectionResult:
+    """Figure 8 payload."""
+
+    results: Dict[str, EvalResult] = field(default_factory=dict)
+
+    @property
+    def accuracies(self) -> Dict[str, float]:
+        return {name: res.accuracy for name, res in self.results.items()}
+
+    def bars(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for name, res in self.results.items():
+            for label in res.confusion.labels:
+                out.setdefault(str(label), {})[name] = {
+                    "precision": res.confusion.precision(label),
+                    "recall": res.confusion.recall(label),
+                }
+        return out
+
+    def to_text(self) -> str:
+        lines = ["== Wild problem detection (Figure 8) =="]
+        lines.append(
+            "accuracy: "
+            + "  ".join(f"{n}={a * 100:.1f}%" for n, a in self.accuracies.items())
+        )
+        for label, per_vp in self.bars().items():
+            lines.append(f"  {label}:")
+            for vp, stats in per_vp.items():
+                lines.append(
+                    f"    {vp:<15} P={stats['precision']:.2f} R={stats['recall']:.2f}"
+                )
+        return "\n".join(lines)
+
+
+def run_wild_detection(
+    train: Dataset,
+    wild: Dataset,
+    combos: Sequence[Sequence[str]] = WILD_COMBOS,
+) -> WildDetectionResult:
+    """Figure 8: lab severity model scored as good/problematic in the wild."""
+    result = WildDetectionResult()
+    for vps in combos:
+        res = evaluate_transfer(
+            train, wild, "severity", vps, test_label_kind="existence"
+        )
+        result.results[combo_name(vps)] = res
+    return result
+
+
+# ---------------------------------------------------------------- Table 5
+
+
+@dataclass
+class WildRcaResult:
+    """Table 5 payload: predicted root causes of wild sessions."""
+
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    n_sessions: int = 0
+    good_accuracy: float = 0.0
+
+    def to_text(self) -> str:
+        lines = ["== Wild root-cause predictions (Table 5) =="]
+        lines.append(f"sessions: {self.n_sessions}; "
+                     f"good-instance accuracy: {self.good_accuracy * 100:.1f}%")
+        header = f"  {'cause':<22}{'mild':>8}{'severe':>8}"
+        lines.append(header)
+        for cause, row in self.counts.items():
+            lines.append(
+                f"  {cause:<22}{row.get('mild', 0):>8}{row.get('severe', 0):>8}"
+            )
+        return "\n".join(lines)
+
+
+def run_wild_rca(train: Dataset, wild: Dataset) -> WildRcaResult:
+    """Predict the exact cause of every wild session with the lab model."""
+    constructor = FeatureConstructor().fit(train)
+    train_c = constructor.transform(train)
+    wild_c = constructor.transform(wild)
+    names = features_for_vps(train_c.feature_names, ("mobile", "server"))
+    selector = FeatureSelector().fit(train_c, "exact", feature_names=names)
+    names = selector.selected or names
+    model = C45Tree().fit(
+        train_c.to_matrix(names), train_c.labels("exact"), feature_names=names
+    )
+    predictions = model.predict(wild_c.to_matrix(names))
+
+    result = WildRcaResult(n_sessions=len(wild_c))
+    truth = wild_c.labels("existence")
+    good_mask = truth == "good"
+    predicted_good = predictions == "good"
+    if good_mask.sum():
+        result.good_accuracy = float(
+            (predicted_good & good_mask).sum() / good_mask.sum()
+        )
+    counts: Dict[str, Dict[str, int]] = {"good": {"mild": 0, "severe": 0}}
+    counts["good"]["mild"] = int(predicted_good.sum())
+    for pred in predictions[~predicted_good]:
+        cause, severity = str(pred).rsplit("_", 1)
+        counts.setdefault(cause, {}).setdefault(severity, 0)
+        counts[cause][severity] += 1
+    result.counts = counts
+    return result
+
+
+# ---------------------------------------------------------------- Figure 9
+
+
+@dataclass
+class ServerInferenceResult:
+    """Figure 9 payload: server-VP predictions vs device ground truth."""
+
+    cpu_flagged: List[float] = field(default_factory=list)
+    cpu_unflagged: List[float] = field(default_factory=list)
+    rssi_flagged: List[float] = field(default_factory=list)
+    rssi_unflagged: List[float] = field(default_factory=list)
+
+    @staticmethod
+    def _stats(values: List[float]) -> Tuple[float, float]:
+        if not values:
+            return (float("nan"), float("nan"))
+        arr = np.asarray(values)
+        return float(np.median(arr)), float(arr.mean())
+
+    @property
+    def cpu_separation(self) -> float:
+        """Median CPU of flagged minus unflagged sessions (should be > 0)."""
+        return self._stats(self.cpu_flagged)[0] - self._stats(self.cpu_unflagged)[0]
+
+    @property
+    def rssi_separation(self) -> float:
+        """Median RSSI of flagged minus unflagged (should be < 0)."""
+        return self._stats(self.rssi_flagged)[0] - self._stats(self.rssi_unflagged)[0]
+
+    def to_text(self) -> str:
+        cpu_f = self._stats(self.cpu_flagged)
+        cpu_u = self._stats(self.cpu_unflagged)
+        rssi_f = self._stats(self.rssi_flagged)
+        rssi_u = self._stats(self.rssi_unflagged)
+        return "\n".join([
+            "== Server-VP mobile-state inference (Figure 9) ==",
+            f"  CPU  | flagged 'mobile load': median={cpu_f[0]:.2f} "
+            f"(n={len(self.cpu_flagged)}) vs others median={cpu_u[0]:.2f} "
+            f"(n={len(self.cpu_unflagged)})  separation={self.cpu_separation:+.2f}",
+            f"  RSSI | flagged 'low RSSI':   median={rssi_f[0]:.1f} "
+            f"(n={len(self.rssi_flagged)}) vs others median={rssi_u[0]:.1f} "
+            f"(n={len(self.rssi_unflagged)})  separation={self.rssi_separation:+.1f}",
+        ])
+
+
+def run_server_inference(train: Dataset, wild: Dataset) -> ServerInferenceResult:
+    """Figure 9: can the server VP flag device-side problems correctly?"""
+    constructor = FeatureConstructor().fit(train)
+    train_c = constructor.transform(train)
+    wild_c = constructor.transform(wild)
+    names = features_for_vps(train_c.feature_names, ("server",))
+    selector = FeatureSelector().fit(train_c, "exact", feature_names=names)
+    names = selector.selected or names
+    model = C45Tree().fit(
+        train_c.to_matrix(names), train_c.labels("exact"), feature_names=names
+    )
+    predictions = model.predict(wild_c.to_matrix(names))
+
+    result = ServerInferenceResult()
+    for inst, pred in zip(wild_c, predictions):
+        cause = str(pred).rsplit("_", 1)[0] if str(pred) != "good" else "good"
+        true_cpu = float(inst.meta.get("true_cpu", float("nan")))
+        true_rssi = float(inst.meta.get("true_rssi", float("nan")))
+        if cause == "mobile_load":
+            result.cpu_flagged.append(true_cpu)
+        else:
+            result.cpu_unflagged.append(true_cpu)
+        if cause == "low_rssi":
+            result.rssi_flagged.append(true_rssi)
+        else:
+            result.rssi_unflagged.append(true_rssi)
+    return result

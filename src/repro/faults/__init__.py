@@ -1,0 +1,42 @@
+"""Fault injection: the simulated problems of Table 2.
+
+Each fault perturbs exactly the resource its real-world counterpart
+perturbs:
+
+=====================  ==========================  =========================
+Paper fault            Paper tool                  This package
+=====================  ==========================  =========================
+LAN shaping            ``tc``/``netem`` on LAN     caps the router bridge
+WAN shaping            ``tc``/``netem`` on WAN     re-shapes the WAN channels
+LAN congestion         ``iperf`` client->router    UDP through the bridge
+WAN congestion         ``iperf`` across the WAN    UDP across the WAN link
+Mobile load            ``stress`` on the phone     CPU/memory pressure model
+Poor signal reception  distance / attenuation      extra path loss (dB)
+WiFi interference      adjacent WLAN traffic       channel airtime duty
+=====================  ==========================  =========================
+
+Faults are created by :func:`make_fault` with a severity of ``"mild"`` or
+``"severe"``; the *intensity within the severity band* is randomised per
+instance, so the QoE impact varies and the MOS labeller decides what the
+session actually was -- mirroring the paper's "varied intensity" scenarios.
+"""
+
+from repro.faults.base import Fault, FaultRegistry, make_fault, FAULT_NAMES
+from repro.faults.congestion import LanCongestion, WanCongestion
+from repro.faults.load import MobileLoad
+from repro.faults.shaping import LanShaping, WanShaping
+from repro.faults.wireless_faults import LowRssi, WifiInterference
+
+__all__ = [
+    "Fault",
+    "FaultRegistry",
+    "make_fault",
+    "FAULT_NAMES",
+    "LanCongestion",
+    "WanCongestion",
+    "MobileLoad",
+    "LanShaping",
+    "WanShaping",
+    "LowRssi",
+    "WifiInterference",
+]

@@ -1,0 +1,88 @@
+"""Fault base class and registry."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Type
+
+#: canonical fault names as used in labels (Figure 4 of the paper)
+FAULT_NAMES = (
+    "wan_congestion",
+    "wan_shaping",
+    "lan_congestion",
+    "lan_shaping",
+    "mobile_load",
+    "low_rssi",
+    "wifi_interference",
+)
+
+#: fault -> path segment, for the location labels of Section 5.2.  The
+#: wireless-medium faults occur in the user's local network.
+FAULT_LOCATIONS = {
+    "wan_congestion": "wan",
+    "wan_shaping": "wan",
+    "lan_congestion": "lan",
+    "lan_shaping": "lan",
+    "mobile_load": "mobile",
+    "low_rssi": "lan",
+    "wifi_interference": "lan",
+}
+
+
+class Fault:
+    """One injected problem with a randomised intensity.
+
+    Subclasses define ``MILD`` / ``SEVERE`` intensity bands and implement
+    :meth:`apply` / :meth:`clear` against a
+    :class:`repro.testbed.testbed.Testbed`.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, severity: str, rng: random.Random):
+        if severity not in ("mild", "severe"):
+            raise ValueError(f"severity must be mild or severe, got {severity!r}")
+        self.severity = severity
+        self.rng = rng
+        self.active = False
+        self.intensity: Dict[str, float] = {}
+
+    @property
+    def location(self) -> str:
+        return FAULT_LOCATIONS[self.name]
+
+    def band(self, mild: tuple, severe: tuple) -> float:
+        """Draw an intensity uniformly from the band for this severity."""
+        lo, hi = mild if self.severity == "mild" else severe
+        return self.rng.uniform(lo, hi)
+
+    def apply(self, testbed) -> None:
+        raise NotImplementedError
+
+    def clear(self, testbed) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.severity}, {self.intensity})"
+
+
+class FaultRegistry:
+    """Name -> class mapping, filled in by the concrete modules."""
+
+    _classes: Dict[str, Type[Fault]] = {}
+
+    @classmethod
+    def register(cls, fault_cls: Type[Fault]) -> Type[Fault]:
+        cls._classes[fault_cls.name] = fault_cls
+        return fault_cls
+
+    @classmethod
+    def get(cls, name: str) -> Type[Fault]:
+        if name not in cls._classes:
+            raise KeyError(f"unknown fault {name!r}; known: {sorted(cls._classes)}")
+        return cls._classes[name]
+
+
+def make_fault(name: str, severity: str, rng: Optional[random.Random] = None) -> Fault:
+    """Instantiate a fault by its canonical name."""
+    return FaultRegistry.get(name)(severity, rng or random.Random())

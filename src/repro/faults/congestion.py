@@ -1,0 +1,102 @@
+"""Congestion faults: iperf-style UDP blasting (Table 2).
+
+* **LAN congestion** -- UDP from the wired LAN client towards the router,
+  contending with the video inside the router's forwarding path.
+* **WAN congestion** -- UDP between the server and the wired client, so
+  the traffic crosses (and queues on) the emulated WAN link the video
+  shares.  Both directions are loaded, dominated by the downlink as in a
+  real speed-test-style blast.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault, FaultRegistry
+from repro.simnet.udp import UdpSender, UdpSink
+
+IPERF_PORT = 5001
+
+
+@FaultRegistry.register
+class LanCongestion(Fault):
+    """UDP wired-client -> router through the shared bridge."""
+
+    name = "lan_congestion"
+
+    MILD_FRACTION = (0.55, 0.85)
+    SEVERE_FRACTION = (0.85, 1.4)
+
+    def apply(self, testbed) -> None:
+        fraction = self.band(self.MILD_FRACTION, self.SEVERE_FRACTION)
+        rate = fraction * testbed.router.bridge.rate_bps
+        self.intensity = {"rate_bps": rate, "fraction": fraction}
+        self._sink = UdpSink(testbed.router, IPERF_PORT)
+        self._sender = UdpSender(
+            testbed.sim,
+            testbed.wired_client,
+            testbed.router.name,
+            IPERF_PORT,
+            rate_bps=rate,
+            payload=1200,
+            jitter_factor=0.15,
+            tag="iperf-lan",
+        )
+        self._sender.start()
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        self._sender.stop()
+        self._sink.close()
+        self.active = False
+
+
+@FaultRegistry.register
+class WanCongestion(Fault):
+    """UDP between server and wired client across the WAN link."""
+
+    name = "wan_congestion"
+
+    MILD_FRACTION = (0.5, 0.8)
+    SEVERE_FRACTION = (0.85, 1.4)
+    UPLINK_SHARE = 0.15  # most of an iperf blast is downstream payload
+
+    def apply(self, testbed) -> None:
+        fraction = self.band(self.MILD_FRACTION, self.SEVERE_FRACTION)
+        down_rate = fraction * testbed.wan_down.rate_bps
+        up_rate = max(64e3, self.UPLINK_SHARE * fraction * testbed.wan_up.rate_bps)
+        self.intensity = {"down_bps": down_rate, "up_bps": up_rate, "fraction": fraction}
+        self._down_sink = UdpSink(testbed.wired_client, IPERF_PORT)
+        self._down_sender = UdpSender(
+            testbed.sim,
+            testbed.server,
+            testbed.wired_client.name,
+            IPERF_PORT,
+            rate_bps=down_rate,
+            payload=1200,
+            jitter_factor=0.15,
+            tag="iperf-wan",
+        )
+        self._up_sink = UdpSink(testbed.server, IPERF_PORT)
+        self._up_sender = UdpSender(
+            testbed.sim,
+            testbed.wired_client,
+            testbed.server.name,
+            IPERF_PORT,
+            rate_bps=up_rate,
+            payload=1200,
+            jitter_factor=0.15,
+            tag="iperf-wan",
+        )
+        self._down_sender.start()
+        self._up_sender.start()
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        self._down_sender.stop()
+        self._up_sender.stop()
+        self._down_sink.close()
+        self._up_sink.close()
+        self.active = False

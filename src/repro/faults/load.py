@@ -1,0 +1,40 @@
+"""Mobile device load fault (the ``stress`` row of Table 2).
+
+``stress`` generates CPU, memory, I/O and disk workloads on the phone; the
+paper's scenario is that "high load on the device hardware does not allow
+the proper decoding and playback of the video".  The fault raises the
+device model's stress levels; the decoder and the TCP receive buffer react
+through :class:`repro.testbed.devices.MobileDevice`.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault, FaultRegistry
+
+
+@FaultRegistry.register
+class MobileLoad(Fault):
+    """CPU + memory pressure on the phone."""
+
+    name = "mobile_load"
+
+    MILD_CPU = (0.3, 0.5)
+    SEVERE_CPU = (0.7, 0.92)
+    MILD_MEM = (0.1, 0.28)
+    SEVERE_MEM = (0.35, 0.6)
+
+    def apply(self, testbed) -> None:
+        device = testbed.phone_device
+        cpu = self.band(self.MILD_CPU, self.SEVERE_CPU)
+        mem = self.band(self.MILD_MEM, self.SEVERE_MEM)
+        self.intensity = {"stress_cpu": cpu, "stress_mem": mem}
+        device.stress_cpu = cpu
+        device.stress_mem = mem
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        testbed.phone_device.stress_cpu = 0.0
+        testbed.phone_device.stress_mem = 0.0
+        self.active = False

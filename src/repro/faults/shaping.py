@@ -1,0 +1,87 @@
+"""Traffic shaping faults (``tc``/``netem`` rows of Table 2).
+
+WAN shaping tightens the emulated DSL/mobile link below its Table 3
+baseline (bandwidth cap, extra delay, extra loss).  LAN shaping caps the
+router's forwarding path at data rates "offered by common 802.11 standards"
+-- only the low end of that 1..70 Mbit/s range can affect a video, so the
+severity bands sit around the video bitrates.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault, FaultRegistry
+
+
+@FaultRegistry.register
+class WanShaping(Fault):
+    """Cap and impair the WAN link (DSL / mobile profile)."""
+
+    name = "wan_shaping"
+
+    MILD_RATE = (1.9e6, 2.9e6)
+    SEVERE_RATE = (0.55e6, 1.6e6)
+    MILD_DELAY_FACTOR = (1.3, 2.2)
+    SEVERE_DELAY_FACTOR = (2.0, 4.0)
+    MILD_LOSS_FACTOR = (1.2, 2.0)
+    SEVERE_LOSS_FACTOR = (2.0, 4.0)
+
+    def apply(self, testbed) -> None:
+        down, up = testbed.wan_down, testbed.wan_up
+        self._saved = (
+            down.rate_bps, down.delay, down.loss, up.rate_bps, up.delay, up.loss,
+        )
+        rate = self.band(self.MILD_RATE, self.SEVERE_RATE)
+        delay_f = self.band(self.MILD_DELAY_FACTOR, self.SEVERE_DELAY_FACTOR)
+        loss_f = self.band(self.MILD_LOSS_FACTOR, self.SEVERE_LOSS_FACTOR)
+        self.intensity = {"rate_bps": rate, "delay_factor": delay_f, "loss_factor": loss_f}
+        down.set_rate(rate)
+        down.set_impairments(delay=down.delay * delay_f, loss=min(0.3, down.loss * loss_f))
+        # DSL uplink shrinks proportionally with the downlink cap.
+        uplink_ratio = self._saved[3] / max(1.0, self._saved[0])
+        up.set_rate(max(128e3, rate * uplink_ratio))
+        up.set_impairments(delay=up.delay * delay_f, loss=min(0.3, up.loss * loss_f))
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        down, up = testbed.wan_down, testbed.wan_up
+        d_rate, d_delay, d_loss, u_rate, u_delay, u_loss = self._saved
+        down.set_rate(d_rate)
+        down.set_impairments(delay=d_delay, loss=d_loss)
+        up.set_rate(u_rate)
+        up.set_impairments(delay=u_delay, loss=u_loss)
+        self.active = False
+
+
+@FaultRegistry.register
+class LanShaping(Fault):
+    """Cap the WLAN at a lower 802.11 standard's PHY rate.
+
+    The paper shapes the LAN "based on the data rates offered by common
+    802.11 standards such as a, b, g and n" (1..70 Mbit/s).  Only the low
+    rungs can affect a video stream, so the severity bands draw from the
+    802.11b-era rates.  The cap is visible to the phone as a drop in its
+    NIC's advertised rate while RSSI stays normal -- the signature that
+    separates LAN shaping from poor reception at the mobile VP.
+    """
+
+    name = "lan_shaping"
+
+    #: 802.11 PHY rates drawn per severity (bit/s)
+    MILD_RATES = (2e6, 5.5e6)
+    SEVERE_RATES = (1e6,)
+
+    def apply(self, testbed) -> None:
+        rates = self.MILD_RATES if self.severity == "mild" else self.SEVERE_RATES
+        rate = self.rng.choice(rates)
+        self.intensity = {"phy_rate_bps": rate}
+        self._saved = testbed.medium.rate_cap
+        testbed.medium.set_rate_cap(rate)
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        testbed.medium.set_rate_cap(self._saved)
+        self.active = False

@@ -1,0 +1,82 @@
+"""Unknown-fault injectors (Section 7's stated limitation).
+
+"One of the limitations of our system is the inability to detect faults
+that it has not been trained for yet ... new problems such as middleboxes
+and DNS or routing miss-configurations."
+
+These two injectors are deliberately *not* in :data:`FAULT_NAMES` and are
+never part of a training campaign; the extension experiment uses them to
+quantify the limitation: the classifier should still *flag* such sessions
+as problematic (the features are anomalous) but cannot *name* the cause.
+
+* :class:`DnsMisconfiguration` -- a broken/slow resolver: the player's
+  clock starts at "play" but the TCP connect is delayed by seconds of
+  lookup retries (or fails outright when severe).
+* :class:`MiddleboxInterference` -- a badly-behaved middlebox on the
+  router path: clamps the MSS on SYNs and strips SACK blocks, inflating
+  packet counts and crippling loss recovery.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault
+from repro.simnet.packet import Packet
+
+
+class DnsMisconfiguration(Fault):
+    """Resolver timeouts before the video connection can open."""
+
+    name = "dns_misconfiguration"
+
+    MILD_DELAY_S = (3.0, 6.0)
+    SEVERE_DELAY_S = (10.0, 25.0)
+
+    @property
+    def location(self) -> str:  # not in FAULT_LOCATIONS: override
+        return "wan"
+
+    def apply(self, testbed) -> None:
+        delay = self.band(self.MILD_DELAY_S, self.SEVERE_DELAY_S)
+        self.intensity = {"lookup_delay_s": delay}
+        self._saved = getattr(testbed, "dns_delay_s", 0.0)
+        testbed.dns_delay_s = delay
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        testbed.dns_delay_s = self._saved
+        self.active = False
+
+
+class MiddleboxInterference(Fault):
+    """MSS clamping + SACK stripping at the router."""
+
+    name = "middlebox_interference"
+
+    MILD_MSS = (700, 1000)
+    SEVERE_MSS = (400, 560)
+
+    @property
+    def location(self) -> str:
+        return "lan"
+
+    def apply(self, testbed) -> None:
+        clamp = int(self.band(self.MILD_MSS, self.SEVERE_MSS))
+        self.intensity = {"mss_clamp": clamp}
+
+        def transform(pkt: Packet) -> Packet:
+            if pkt.mss_opt is not None and pkt.mss_opt > clamp:
+                pkt.mss_opt = clamp
+            if pkt.sack:
+                pkt.sack = ()
+            return pkt
+
+        testbed.router.set_middlebox(transform)
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        testbed.router.set_middlebox(None)
+        self.active = False

@@ -1,0 +1,63 @@
+"""Wireless-medium faults: poor signal reception and WiFi interference.
+
+* **Low RSSI** -- the paper places the phone far from the AP and attenuates
+  the AP's transmit signal; here, extra path loss is added so the phone's
+  effective RSSI lands in the chosen band.  The SNR drop lowers the
+  selected PHY rate and raises the frame error rate.
+* **WiFi interference** -- the paper loads an adjacent WLAN on the same
+  channel; here, an airtime duty cycle occupies the medium and raises the
+  collision probability.  RSSI is unaffected, which is precisely why only
+  RSSI-equipped vantage points separate the two faults (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault, FaultRegistry
+
+
+@FaultRegistry.register
+class LowRssi(Fault):
+    """Attenuate the phone's signal into a target RSSI band."""
+
+    name = "low_rssi"
+
+    MILD_RSSI = (-88.5, -85.0)
+    SEVERE_RSSI = (-95.0, -91.0)
+
+    def apply(self, testbed) -> None:
+        station = testbed.phone_station
+        target = self.band(self.MILD_RSSI, self.SEVERE_RSSI)
+        attenuation = max(0.0, station.base_rssi - target)
+        self.intensity = {"target_rssi": target, "attenuation_db": attenuation}
+        self._saved = station.attenuation
+        station.attenuation = attenuation
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        testbed.phone_station.attenuation = self._saved
+        self.active = False
+
+
+@FaultRegistry.register
+class WifiInterference(Fault):
+    """Occupy the channel from an adjacent WLAN."""
+
+    name = "wifi_interference"
+
+    MILD_DUTY = (0.55, 0.85)
+    SEVERE_DUTY = (0.90, 0.97)
+
+    def apply(self, testbed) -> None:
+        duty = self.band(self.MILD_DUTY, self.SEVERE_DUTY)
+        self.intensity = {"duty": duty}
+        self._saved = testbed.medium.interference_duty
+        testbed.medium.set_interference(duty)
+        self.active = True
+
+    def clear(self, testbed) -> None:
+        if not self.active:
+            return
+        testbed.medium.set_interference(self._saved)
+        self.active = False

@@ -1,0 +1,59 @@
+"""Stratified k-fold cross-validation (the paper uses 10-fold)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.metrics import ConfusionMatrix
+
+
+def stratified_kfold(
+    y: Sequence, k: int = 10, seed: int = 0
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Return ``k`` (train_idx, test_idx) pairs with per-class balance.
+
+    Classes with fewer than ``k`` members are spread over the first folds;
+    folds never end up empty as long as ``len(y) >= k``.
+    """
+    y = np.asarray(y)
+    if len(y) < k:
+        raise ValueError(f"need at least k={k} instances, got {len(y)}")
+    rng = random.Random(seed)
+    folds: List[List[int]] = [[] for _ in range(k)]
+    offset = 0
+    for label in np.unique(y):
+        idx = list(np.nonzero(y == label)[0])
+        rng.shuffle(idx)
+        for j, i in enumerate(idx):
+            folds[(offset + j) % k].append(int(i))
+        offset += len(idx)
+    splits = []
+    all_indices = set(range(len(y)))
+    for fold in folds:
+        test = np.array(sorted(fold), dtype=int)
+        train = np.array(sorted(all_indices - set(fold)), dtype=int)
+        splits.append((train, test))
+    return splits
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    X,
+    y,
+    k: int = 10,
+    seed: int = 0,
+    feature_names: Optional[Sequence[str]] = None,
+) -> ConfusionMatrix:
+    """Train/evaluate with stratified k-fold CV; returns the pooled matrix."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    cm = ConfusionMatrix(list(np.unique(y)))
+    for train_idx, test_idx in stratified_kfold(y, k=k, seed=seed):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx], feature_names=feature_names)
+        predictions = model.predict(X[test_idx])
+        cm.update(y[test_idx], predictions)
+    return cm

@@ -1,0 +1,106 @@
+"""Model export and persistence.
+
+The paper values C4.5's interpretability ("the constructed tree can be
+visualized and interpreted").  This module provides:
+
+* :func:`tree_to_dot` -- Graphviz rendering of a trained tree;
+* :func:`tree_to_dict` / :func:`tree_from_dict` -- loss-free JSON-safe
+  (de)serialisation, so a lab-trained model can be shipped to probes
+  without pickling code objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.ml.tree import C45Tree, _Node
+
+
+def tree_to_dot(tree: C45Tree, max_depth: int = 8) -> str:
+    """Render a trained tree in Graphviz DOT format."""
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    names = tree.feature_names or [f"x{j}" for j in range(tree.n_features)]
+    lines = ["digraph c45 {", '  node [shape=box, fontsize=10];']
+    counter = [0]
+
+    def walk(node: _Node, depth: int) -> int:
+        nid = counter[0]
+        counter[0] += 1
+        if node.is_leaf or depth >= max_depth:
+            label = tree.classes_[node.prediction]
+            lines.append(f'  n{nid} [label="{label}\\nn={node.n}", '
+                         'style=filled, fillcolor=lightgrey];')
+            return nid
+        lines.append(
+            f'  n{nid} [label="{names[node.feature]}\\n<= {node.threshold:.4g}"];'
+        )
+        left = walk(node.left, depth + 1)
+        right = walk(node.right, depth + 1)
+        lines.append(f'  n{nid} -> n{left} [label="yes"];')
+        lines.append(f'  n{nid} -> n{right} [label="no"];')
+        return nid
+
+    walk(tree.root, 0)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _node_to_dict(node: _Node) -> Dict:
+    out = {
+        "counts": [int(c) for c in node.counts],
+    }
+    if not node.is_leaf:
+        out["feature"] = int(node.feature)
+        out["threshold"] = float(node.threshold)
+        out["left"] = _node_to_dict(node.left)
+        out["right"] = _node_to_dict(node.right)
+    return out
+
+
+def _node_from_dict(data: Dict) -> _Node:
+    node = _Node(np.asarray(data["counts"], dtype=np.int64))
+    if "feature" in data:
+        node.feature = int(data["feature"])
+        node.threshold = float(data["threshold"])
+        node.left = _node_from_dict(data["left"])
+        node.right = _node_from_dict(data["right"])
+    return node
+
+
+def tree_to_dict(tree: C45Tree) -> Dict:
+    """JSON-safe serialisation of a trained tree."""
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    return {
+        "format": "repro-c45-v1",
+        "classes": [str(c) for c in tree.classes_],
+        "feature_names": list(tree.feature_names or []),
+        "n_features": tree.n_features,
+        "params": {
+            "min_leaf": tree.min_leaf,
+            "cf": tree.cf,
+            "max_depth": tree.max_depth,
+        },
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(data: Dict) -> C45Tree:
+    """Reconstruct a :class:`C45Tree` saved by :func:`tree_to_dict`."""
+    if data.get("format") != "repro-c45-v1":
+        raise ValueError("not a repro C4.5 export")
+    params = data.get("params", {})
+    tree = C45Tree(
+        min_leaf=params.get("min_leaf", 2),
+        cf=params.get("cf", 0.25),
+        max_depth=params.get("max_depth"),
+    )
+    tree.classes_ = np.asarray(data["classes"])
+    tree.feature_names = list(data["feature_names"]) or None
+    tree.n_features = int(data["n_features"])
+    tree._importance = np.zeros(tree.n_features)
+    tree.root = _node_from_dict(data["root"])
+    return tree

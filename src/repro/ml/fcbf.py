@@ -1,0 +1,104 @@
+"""Fast Correlation-Based Filter (Yu & Liu, ICML 2003).
+
+The paper's feature selection: "we find that the Fast Correlation-Based
+Filter algorithm is the most efficient in identifying a minimal set of
+features with high predictive power", reducing 354 features to 22
+(Table 1).
+
+The filter works on symmetrical uncertainty (SU) over discretised
+attributes:
+
+1. keep features whose SU with the class exceeds ``delta``;
+2. scanning in decreasing SU order, drop any remaining feature ``f`` whose
+   SU with an already-kept feature ``g`` is at least its SU with the class
+   (``g`` forms an *approximate Markov blanket* for ``f``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.discretize import apply_cuts, mdl_discretize
+
+
+def _entropy(x: np.ndarray) -> float:
+    _, counts = np.unique(x, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+def _joint_entropy(x: np.ndarray, y: np.ndarray) -> float:
+    joint = x.astype(np.int64) * (int(y.max()) + 1) + y.astype(np.int64)
+    return _entropy(joint)
+
+
+def symmetrical_uncertainty(x: np.ndarray, y: np.ndarray) -> float:
+    """SU(x, y) = 2 * IG(x; y) / (H(x) + H(y)), in [0, 1]."""
+    hx = _entropy(x)
+    hy = _entropy(y)
+    if hx == 0.0 and hy == 0.0:
+        return 1.0
+    if hx == 0.0 or hy == 0.0:
+        return 0.0
+    ig = hx + hy - _joint_entropy(x, y)
+    return max(0.0, 2.0 * ig / (hx + hy))
+
+
+def discretize_matrix(
+    X: np.ndarray, y: np.ndarray, max_cuts: int = 32
+) -> Tuple[np.ndarray, List[List[float]]]:
+    """MDL-discretise every column of ``X`` against the class ``y``."""
+    n, f = X.shape
+    out = np.zeros((n, f), dtype=np.int64)
+    all_cuts: List[List[float]] = []
+    for j in range(f):
+        cuts = mdl_discretize(X[:, j], y, max_cuts=max_cuts)
+        all_cuts.append(cuts)
+        out[:, j] = apply_cuts(X[:, j], cuts)
+    return out, all_cuts
+
+
+def fcbf(
+    X: np.ndarray,
+    y: np.ndarray,
+    delta: float = 0.01,
+    feature_names: Sequence[str] = (),
+    prediscretized: bool = False,
+) -> Tuple[List[int], Dict[str, float]]:
+    """Run FCBF; returns (selected column indices, SU-with-class map).
+
+    ``X`` is (n, f) continuous unless ``prediscretized``; ``y`` is any
+    label array.  ``feature_names`` is used for the returned SU map keys
+    (falls back to column indices).
+    """
+    X = np.asarray(X)
+    _, y_codes = np.unique(np.asarray(y), return_inverse=True)
+    if prediscretized:
+        Xd = X.astype(np.int64)
+    else:
+        Xd, _ = discretize_matrix(X, y_codes)
+    n_features = Xd.shape[1]
+    names = list(feature_names) if feature_names else [str(j) for j in range(n_features)]
+
+    su_class = np.array(
+        [symmetrical_uncertainty(Xd[:, j], y_codes) for j in range(n_features)]
+    )
+    candidates = [j for j in range(n_features) if su_class[j] > delta]
+    candidates.sort(key=lambda j: -su_class[j])
+
+    selected: List[int] = []
+    removed = set()
+    for i, fj in enumerate(candidates):
+        if fj in removed:
+            continue
+        selected.append(fj)
+        for fk in candidates[i + 1:]:
+            if fk in removed:
+                continue
+            su_fk_fj = symmetrical_uncertainty(Xd[:, fk], Xd[:, fj])
+            if su_fk_fj >= su_class[fk]:
+                removed.add(fk)
+    su_map = {names[j]: float(su_class[j]) for j in range(n_features)}
+    return selected, su_map

@@ -1,0 +1,118 @@
+"""Classification metrics: the paper's accuracy / precision / recall.
+
+Section 5: "overall accuracy, defined as the percentage of correctly
+predicted instances ... Precision is expressed by the ratio of TP over TP
+and False Positives ... Recall is the ratio of TP divided by the total
+instances in this class."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class ConfusionMatrix:
+    """Accumulating confusion matrix over a fixed label set."""
+
+    def __init__(self, labels: Sequence):
+        self.labels: List = list(labels)
+        self._index = {label: i for i, label in enumerate(self.labels)}
+        k = len(self.labels)
+        self.matrix = np.zeros((k, k), dtype=np.int64)
+
+    def update(self, y_true, y_pred) -> None:
+        for t, p in zip(y_true, y_pred):
+            ti = self._index.get(t)
+            pi = self._index.get(p)
+            if ti is None:
+                raise KeyError(f"unknown true label {t!r}")
+            if pi is None:
+                raise KeyError(f"unknown predicted label {p!r}")
+            self.matrix[ti, pi] += 1
+
+    # -- scalar metrics -------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return int(self.matrix.sum())
+
+    @property
+    def accuracy(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return float(np.trace(self.matrix)) / total
+
+    def precision(self, label) -> float:
+        i = self._index[label]
+        predicted = self.matrix[:, i].sum()
+        if predicted == 0:
+            return 0.0
+        return float(self.matrix[i, i]) / float(predicted)
+
+    def recall(self, label) -> float:
+        i = self._index[label]
+        actual = self.matrix[i, :].sum()
+        if actual == 0:
+            return 0.0
+        return float(self.matrix[i, i]) / float(actual)
+
+    def f1(self, label) -> float:
+        p = self.precision(label)
+        r = self.recall(label)
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def support(self, label) -> int:
+        return int(self.matrix[self._index[label], :].sum())
+
+    # -- aggregates ------------------------------------------------------------
+
+    def per_class(self) -> Dict:
+        return {
+            label: {
+                "precision": self.precision(label),
+                "recall": self.recall(label),
+                "f1": self.f1(label),
+                "support": self.support(label),
+            }
+            for label in self.labels
+        }
+
+    def macro_precision(self) -> float:
+        present = [l for l in self.labels if self.support(l) > 0]
+        if not present:
+            return 0.0
+        return sum(self.precision(l) for l in present) / len(present)
+
+    def macro_recall(self) -> float:
+        present = [l for l in self.labels if self.support(l) > 0]
+        if not present:
+            return 0.0
+        return sum(self.recall(l) for l in present) / len(present)
+
+    def weighted_precision(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(
+            self.precision(l) * self.support(l) for l in self.labels
+        ) / total
+
+    def weighted_recall(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(self.recall(l) * self.support(l) for l in self.labels) / total
+
+    def to_text(self) -> str:
+        width = max(len(str(l)) for l in self.labels) + 2
+        header = " " * width + "".join(f"{str(l)[:10]:>11}" for l in self.labels)
+        rows = [header]
+        for i, label in enumerate(self.labels):
+            cells = "".join(f"{self.matrix[i, j]:>11}" for j in range(len(self.labels)))
+            rows.append(f"{str(label):<{width}}{cells}")
+        return "\n".join(rows)

@@ -1,0 +1,125 @@
+"""Decision paths and rule extraction for C4.5 trees.
+
+The paper argues for C4.5 precisely because "the model is not a black box.
+The constructed tree can be visualized and interpreted."  This module
+operationalises that:
+
+* :func:`decision_path` -- the exact tests a sample satisfied on its way
+  to a leaf, i.e. *why* a session received its diagnosis;
+* :func:`extract_rules` -- the tree flattened into an ordered ruleset
+  (the spirit of Quinlan's C4.5rules), with per-rule support and
+  confidence from the training counts;
+* :func:`render_rule` -- human-readable one-liners for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.tree import C45Tree, _Node
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One satisfied test on the path: ``feature <= threshold`` or ``>``."""
+
+    feature: str
+    threshold: float
+    satisfied_leq: bool  # True when the sample went left (<=)
+    value: float
+
+    def __str__(self) -> str:
+        op = "<=" if self.satisfied_leq else ">"
+        return f"{self.feature} {op} {self.threshold:.4g} (value={self.value:.4g})"
+
+
+@dataclass
+class Rule:
+    """A root-to-leaf conjunction with its training statistics."""
+
+    conditions: Tuple[Condition, ...]
+    prediction: str
+    support: int
+    confidence: float
+
+    def matches(self, features: Dict[str, float]) -> bool:
+        for cond in self.conditions:
+            value = features.get(cond.feature, 0.0)
+            if cond.satisfied_leq != (value <= cond.threshold):
+                return False
+        return True
+
+
+def decision_path(tree: C45Tree, row: Sequence[float]) -> List[Condition]:
+    """The conditions ``row`` satisfied from root to its leaf."""
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    names = tree.feature_names or [f"x{j}" for j in range(tree.n_features)]
+    row = np.asarray(row, dtype=float)
+    path: List[Condition] = []
+    node = tree.root
+    while not node.is_leaf:
+        value = float(row[node.feature])
+        goes_left = value <= node.threshold
+        path.append(Condition(names[node.feature], float(node.threshold),
+                              goes_left, value))
+        node = node.left if goes_left else node.right
+    return path
+
+
+def explain_prediction(
+    tree: C45Tree, features: Dict[str, float]
+) -> Tuple[str, List[Condition]]:
+    """Predict from a feature dict and return (label, path)."""
+    names = tree.feature_names or []
+    row = [features.get(n, 0.0) for n in names]
+    label = str(tree.predict_one(row))
+    return label, decision_path(tree, row)
+
+
+def extract_rules(tree: C45Tree) -> List[Rule]:
+    """Flatten the tree into rules ordered by (confidence, support)."""
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    names = tree.feature_names or [f"x{j}" for j in range(tree.n_features)]
+    rules: List[Rule] = []
+
+    def walk(node: _Node, conds: Tuple[Condition, ...]) -> None:
+        if node.is_leaf:
+            support = node.n
+            correct = int(node.counts[node.prediction])
+            confidence = correct / support if support else 0.0
+            rules.append(Rule(
+                conditions=conds,
+                prediction=str(tree.classes_[node.prediction]),
+                support=support,
+                confidence=confidence,
+            ))
+            return
+        feat = names[node.feature]
+        walk(node.left, conds + (
+            Condition(feat, float(node.threshold), True, float("nan")),
+        ))
+        walk(node.right, conds + (
+            Condition(feat, float(node.threshold), False, float("nan")),
+        ))
+
+    walk(tree.root, ())
+    rules.sort(key=lambda r: (-r.confidence, -r.support))
+    return rules
+
+
+def render_rule(rule: Rule) -> str:
+    """One-line rendering, e.g. for an operator report."""
+    if not rule.conditions:
+        body = "(always)"
+    else:
+        body = " AND ".join(
+            f"{c.feature} {'<=' if c.satisfied_leq else '>'} {c.threshold:.4g}"
+            for c in rule.conditions
+        )
+    return (f"IF {body} THEN {rule.prediction} "
+            f"[n={rule.support}, conf={rule.confidence:.2f}]")

@@ -1,0 +1,40 @@
+"""Passive measurement probes for the three vantage points.
+
+Mirrors Section 3.1 of the paper.  Each vantage point (mobile, router,
+server) deploys a stack of probes:
+
+* :mod:`repro.probes.tstat` -- transport layer: a passive per-flow TCP
+  analyser reconstructing ~110 tstat-style metrics from the packets that
+  cross a tapped interface (RTT, retransmissions, out-of-order, windows,
+  MSS, inter-arrival statistics, ...).
+* :mod:`repro.probes.hardware` -- OS/hardware layer: CPU utilisation and
+  free memory sampled at 1 Hz and aggregated per video flow.
+* :mod:`repro.probes.radio` -- link/physical layer for wireless NICs:
+  RSSI samples, PHY rate, link-layer retries/drops, disconnections.
+* :mod:`repro.probes.link` -- link layer for any NIC: bytes/packets and
+  send/receive rates during the flow (turned into *utilisation* by feature
+  construction), queue drops.
+* :mod:`repro.probes.application` -- player QoE metrics (startup delay,
+  stalls, buffer), used exclusively for MOS ground-truth labelling.
+
+Probes are strictly passive: they observe packets via interface taps and
+sample public hardware counters; they never read simulator-internal TCP
+state.
+"""
+
+from repro.probes.application import ApplicationProbe
+from repro.probes.hardware import HardwareProbe
+from repro.probes.link import LinkProbe
+from repro.probes.radio import RadioProbe
+from repro.probes.rnc import RncProbe
+from repro.probes.tstat import FlowStats, TstatProbe
+
+__all__ = [
+    "ApplicationProbe",
+    "HardwareProbe",
+    "LinkProbe",
+    "RadioProbe",
+    "RncProbe",
+    "TstatProbe",
+    "FlowStats",
+]

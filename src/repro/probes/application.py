@@ -1,0 +1,42 @@
+"""Application-layer probe: playback QoE metrics from the player.
+
+Per Section 3.1 these metrics (startup delay, stalls, frame skips, buffer
+status, bitrate) come from the mobile OS "irrespectively of the video
+application".  Crucially, the paper uses them *only* to construct the MOS
+ground truth -- they are never classifier features -- and this module
+keeps that contract: the campaign stores them in the instance's label
+block, not in the feature vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.video.session import VideoSession
+
+
+class ApplicationProbe:
+    """Reads the player-side QoE metrics of a finished session."""
+
+    def collect(self, session: VideoSession) -> Dict[str, float]:
+        m = session.player.metrics
+        return {
+            "started": float(m.started),
+            "completed": float(m.completed),
+            "abandoned": float(m.abandoned),
+            "startup_delay": m.startup_delay_s,
+            "stall_count": float(m.stall_count),
+            "total_stall_time": m.total_stall_s,
+            "stutter_events": float(m.stutter_events),
+            "stutter_time": m.stutter_s,
+            "frames_skipped": float(m.frames_skipped),
+            "qoe_stall_count": float(m.qoe_stall_count),
+            "qoe_stall_time": m.qoe_stall_s,
+            "watch_time": m.watch_time_s,
+            "content_played": m.content_played_s,
+            "bytes_received": float(m.bytes_received),
+            "buffer_min": m.buffer_min_s,
+            "buffer_avg": m.buffer_avg_s,
+            "video_bitrate": session.profile.bitrate_bps,
+            "video_duration": session.profile.duration_s,
+        }

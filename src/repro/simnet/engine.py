@@ -1,0 +1,146 @@
+"""Discrete-event simulation engine.
+
+A single :class:`Simulator` owns the virtual clock, the event heap and all
+randomness.  Every stochastic component in the testbed (loss draws, netem
+jitter, background traffic inter-arrivals, RSSI shadowing, ...) pulls from
+the simulator's seeded generators so that a campaign is fully reproducible
+from its seed, as required by the evaluation pipeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback; cancellable handle returned by ``schedule``."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; safe to call more than once."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {state})"
+
+
+class Simulator:
+    """Event loop with a virtual clock and seeded random sources.
+
+    Parameters
+    ----------
+    seed:
+        Seed for both the ``random.Random`` instance (hot-path draws such as
+        per-packet loss) and auxiliary generators derived from it.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        return self.schedule(max(0.0, time - self._now), fn, *args)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in timestamp order.
+
+        Stops when the heap is exhausted or the next event is later than
+        ``until``.  When ``until`` is given the clock is advanced to it even
+        if no event fires exactly there, so back-to-back ``run`` calls see a
+        monotone clock.
+        """
+        self._running = True
+        heap = self._heap
+        while heap and self._running:
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.fn(*event.args)
+        if until is not None and self._now < until:
+            self._now = until
+        self._running = False
+
+    def stop(self) -> None:
+        """Stop the loop after the currently executing event returns."""
+        self._running = False
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- random helpers ----------------------------------------------------
+    # Centralised so components never touch module-level randomness.
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self.rng.uniform(lo, hi)
+
+    def expovariate(self, rate: float) -> float:
+        return self.rng.expovariate(rate)
+
+    def normal(self, mean: float, std: float) -> float:
+        return self.rng.gauss(mean, std)
+
+    def bounded_normal(
+        self, mean: float, std: float, lo: float = 0.0, hi: float = math.inf
+    ) -> float:
+        """Normal draw clamped into ``[lo, hi]`` (netem-style jitter)."""
+        return min(hi, max(lo, self.rng.gauss(mean, std)))
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw; ``probability`` outside [0, 1] is clamped."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.rng.random() < probability
+
+    def choice(self, seq):
+        return self.rng.choice(seq)
+
+    def fork_rng(self, label: str) -> random.Random:
+        """Derive an independent, reproducible RNG for a subsystem."""
+        return random.Random(f"{self.seed}/{label}")

@@ -1,0 +1,237 @@
+"""Wired channels: serialization, queueing, propagation, loss and shaping.
+
+A :class:`Channel` is one direction of a link.  It models
+
+* a drop-tail FIFO queue bounded in bytes,
+* serialization at the (runtime-adjustable) line rate,
+* fixed propagation delay plus optional normally-distributed jitter, and
+* i.i.d. random loss,
+
+which is exactly the pipeline ``tc``/``netem`` applies in the paper's
+testbed (Table 3).  :class:`NetemChannel` is a thin preset wrapper that
+takes the Table 3 parameters directly.  Channels expose counters the
+link-layer probe turns into features (utilisation, drops, queue delay).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Packet
+
+Deliver = Callable[[Packet], None]
+
+
+class Channel:
+    """One direction of a point-to-point wired link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        loss_burst: float = 1.0,
+        queue_limit_bytes: int = 256 * 1024,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if loss_burst < 1.0:
+            raise ValueError("loss_burst is a mean burst length, >= 1")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.jitter = float(jitter)
+        self.loss = float(loss)
+        self.loss_burst = float(loss_burst)
+        self._loss_state_bad = False
+        self.queue_limit_bytes = int(queue_limit_bytes)
+        self.receiver: Optional[Deliver] = None
+
+        self._queue: deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._transmitting = False
+        self._last_arrival = 0.0
+
+        # Counters consumed by the link/physical-layer probe.
+        self.pkts_sent = 0
+        self.bytes_sent = 0
+        self.pkts_dropped_queue = 0
+        self.pkts_dropped_loss = 0
+        self.busy_time = 0.0
+        self.queue_delay_sum = 0.0
+        self._enqueue_times: deque[float] = deque()
+
+    # -- configuration -----------------------------------------------------
+
+    def connect(self, receiver: Deliver) -> None:
+        """Set the delivery callback at the far end of the channel."""
+        self.receiver = receiver
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Re-shape the channel at runtime (``tc`` rate change)."""
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.rate_bps = float(rate_bps)
+
+    def set_impairments(
+        self,
+        delay: Optional[float] = None,
+        jitter: Optional[float] = None,
+        loss: Optional[float] = None,
+    ) -> None:
+        """Adjust netem-style delay/jitter/loss at runtime."""
+        if delay is not None:
+            self.delay = float(delay)
+        if jitter is not None:
+            self.jitter = float(jitter)
+        if loss is not None:
+            self.loss = float(loss)
+
+    # -- data path ----------------------------------------------------------
+
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt`` for transmission.
+
+        Returns ``False`` when the packet was tail-dropped because the queue
+        is full.  Random (netem) loss is applied after serialization so that
+        lost packets still consume link capacity, as on a real wire.
+        """
+        if self.receiver is None:
+            raise RuntimeError(f"channel {self.name} is not connected")
+        if self._queued_bytes + pkt.size > self.queue_limit_bytes:
+            self.pkts_dropped_queue += 1
+            return False
+        self._queue.append(pkt)
+        self._enqueue_times.append(self.sim.now)
+        self._queued_bytes += pkt.size
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` seconds the transmitter was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    # -- internals -----------------------------------------------------------
+
+    def _draw_loss(self) -> bool:
+        """Gilbert-Elliott loss draw.
+
+        With ``loss_burst == 1`` this degenerates to i.i.d. loss at rate
+        ``loss``; larger values keep the average loss rate but group drops
+        into bursts of that mean length, as observed on access links.
+        """
+        if self.loss <= 0.0:
+            self._loss_state_bad = False
+            return False
+        if self.loss_burst <= 1.0:
+            return self.sim.chance(self.loss)
+        leave_bad = 1.0 / self.loss_burst
+        enter_bad = leave_bad * self.loss / (1.0 - self.loss)
+        if self._loss_state_bad:
+            if self.sim.chance(leave_bad):
+                self._loss_state_bad = False
+        else:
+            if self.sim.chance(enter_bad):
+                self._loss_state_bad = True
+        return self._loss_state_bad
+
+    def _start_next(self) -> None:
+        pkt = self._queue.popleft()
+        enqueued_at = self._enqueue_times.popleft()
+        self._queued_bytes -= pkt.size
+        self.queue_delay_sum += self.sim.now - enqueued_at
+        self._transmitting = True
+        tx_time = pkt.size * 8.0 / self.rate_bps
+        self.busy_time += tx_time
+        self.sim.schedule(tx_time, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.pkts_sent += 1
+        self.bytes_sent += pkt.size
+        if self._draw_loss():
+            self.pkts_dropped_loss += 1
+        else:
+            latency = self.delay
+            if self.jitter > 0.0:
+                latency = self.sim.bounded_normal(self.delay, self.jitter, lo=0.0)
+            # Jitter must not reorder: a wire is FIFO even when delay varies
+            # (netem can reorder, physical access links do not).
+            arrival = max(self.sim.now + latency, self._last_arrival)
+            self._last_arrival = arrival
+            self.sim.schedule(arrival - self.sim.now, self.receiver, pkt)
+        if self._queue:
+            self._start_next()
+        else:
+            self._transmitting = False
+
+
+class NetemChannel(Channel):
+    """Channel preconfigured with the paper's Table 3 netem settings.
+
+    >>> NetemChannel.dsl(sim, "wan.down").delay
+    0.05
+    """
+
+    #: (rate_bps, delay, jitter, loss) presets derived from Table 3.
+    PRESETS = {
+        "dsl": (7.8e6, 0.050, 0.020, 0.0075),
+        "mobile": (5.22e6, 0.100, 0.030, 0.014),
+    }
+
+    def __init__(self, sim: Simulator, name: str, preset: str, **overrides):
+        if preset not in self.PRESETS:
+            raise ValueError(f"unknown netem preset {preset!r}")
+        rate, delay, jitter, loss = self.PRESETS[preset]
+        params = {
+            "rate_bps": rate,
+            "delay": delay,
+            "jitter": jitter,
+            "loss": loss,
+            # ISP traces show clustered drops; bursts of ~3 keep the mean
+            # loss of Table 3 while matching access-link behaviour.
+            "loss_burst": 3.0,
+        }
+        params.update(overrides)
+        super().__init__(sim, name, **params)
+        self.preset = preset
+
+    @classmethod
+    def dsl(cls, sim: Simulator, name: str, **overrides) -> "NetemChannel":
+        return cls(sim, name, "dsl", **overrides)
+
+    @classmethod
+    def mobile(cls, sim: Simulator, name: str, **overrides) -> "NetemChannel":
+        return cls(sim, name, "mobile", **overrides)
+
+
+class DuplexLink:
+    """A pair of channels forming a full-duplex link between two nodes."""
+
+    def __init__(self, forward: Channel, backward: Channel):
+        self.forward = forward
+        self.backward = backward
+
+    def set_rate(self, rate_bps: float) -> None:
+        self.forward.set_rate(rate_bps)
+        self.backward.set_rate(rate_bps)
+
+    def set_impairments(self, **kwargs) -> None:
+        self.forward.set_impairments(**kwargs)
+        self.backward.set_impairments(**kwargs)

@@ -1,0 +1,123 @@
+"""Packet traces: record at a tap, analyse offline.
+
+Real ``tstat`` is habitually run over recorded traces (pcap) rather than
+live taps.  This module provides the same workflow for the simulator:
+
+* :class:`TraceRecorder` -- a tap that snapshots every packet crossing an
+  interface into an immutable, picklable trace;
+* :meth:`PacketTrace.replay_into` -- feed a recorded trace to any passive
+  probe (e.g. :class:`~repro.probes.tstat.TstatProbe`) offline, yielding
+  bit-identical metrics to a live capture;
+* :meth:`PacketTrace.save` / :meth:`PacketTrace.load` -- persistence, so
+  a measurement box can capture now and diagnose later.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+from repro.simnet.node import Interface, Tap
+from repro.simnet.packet import Packet
+
+#: the header fields a capture preserves (payload bytes never existed)
+_FIELDS = (
+    "src", "dst", "sport", "dport", "proto", "payload_len", "seq", "ack",
+    "flags", "wnd", "sack", "ts_val", "ts_ecr", "mss_opt", "wscale_opt",
+    "ttl", "retx", "app_tag",
+)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One captured packet: timestamp, direction and header snapshot."""
+
+    time: float
+    direction: str  # "tx" | "rx"
+    header: tuple   # values aligned with _FIELDS
+
+    def to_packet(self) -> Packet:
+        kwargs = dict(zip(_FIELDS, self.header))
+        return Packet(created_at=self.time, **kwargs)
+
+
+class PacketTrace:
+    """An ordered capture of packets at one observation point."""
+
+    FORMAT = "repro-trace-v1"
+
+    def __init__(self, description: str = ""):
+        self.description = description
+        self.entries: List[TraceEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def record(self, pkt: Packet, direction: str, now: float) -> None:
+        header = tuple(getattr(pkt, f) for f in _FIELDS)
+        self.entries.append(TraceEntry(now, direction, header))
+
+    # -- offline analysis ------------------------------------------------------
+
+    def replay_into(self, probe) -> None:
+        """Feed the capture to a passive probe's ``_observe`` pipeline."""
+        for entry in self.entries:
+            probe._observe(entry.to_packet(), entry.direction, entry.time)
+
+    def flows(self) -> List[Tuple]:
+        """Distinct canonical 5-tuples present in the trace."""
+        seen = []
+        known = set()
+        for entry in self.entries:
+            pkt = entry.to_packet()
+            key = pkt.flow_key.canonical()
+            if key not in known:
+                known.add(key)
+                seen.append(key)
+        return seen
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path) -> None:
+        payload = {
+            "format": self.FORMAT,
+            "description": self.description,
+            "fields": _FIELDS,
+            "entries": [(e.time, e.direction, e.header) for e in self.entries],
+        }
+        with Path(path).open("wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "PacketTrace":
+        with Path(path).open("rb") as fh:
+            payload = pickle.load(fh)
+        if payload.get("format") != cls.FORMAT:
+            raise ValueError("not a repro packet trace")
+        if tuple(payload["fields"]) != _FIELDS:
+            raise ValueError("trace was recorded with an incompatible field set")
+        trace = cls(description=payload.get("description", ""))
+        trace.entries = [TraceEntry(t, d, tuple(h))
+                         for t, d, h in payload["entries"]]
+        return trace
+
+
+class TraceRecorder:
+    """Attach to an interface and capture everything that crosses it."""
+
+    def __init__(self, iface: Interface, description: str = ""):
+        self.iface = iface
+        self.trace = PacketTrace(description or f"{iface.node.name}.{iface.name}")
+        self._tap = Tap(self.trace.record, name="trace")
+        iface.add_tap(self._tap)
+
+    def detach(self) -> PacketTrace:
+        """Stop recording and return the capture."""
+        if self._tap in self.iface.taps:
+            self.iface.taps.remove(self._tap)
+        return self.trace

@@ -1,0 +1,32 @@
+"""Testbed assembly: the Figure 2 topology, devices and campaigns.
+
+* :mod:`repro.testbed.devices` -- hardware models for the phone (CPU /
+  memory / decoder), the router and the server.
+* :mod:`repro.testbed.testbed` -- builds the simulated equivalent of the
+  paper's testbed (video server -- router/AP -- phone + wired client) and
+  runs instrumented video sessions.
+* :mod:`repro.testbed.campaign` -- ground-truth collection campaigns
+  (Section 4): iterate scenarios, inject faults, label by MOS.
+* :mod:`repro.testbed.realworld` -- the two real-world deployments of
+  Section 6 (induced faults on a busy WiFi; uncontrolled 3G/WiFi usage).
+"""
+
+from repro.testbed.campaign import CampaignConfig, run_campaign
+from repro.testbed.devices import MobileDevice, RouterDevice, ServerDevice
+from repro.testbed.realworld import RealWorldConfig, WildConfig, run_realworld_campaign, run_wild_campaign
+from repro.testbed.testbed import SessionRecord, Testbed, TestbedConfig
+
+__all__ = [
+    "CampaignConfig",
+    "run_campaign",
+    "MobileDevice",
+    "RouterDevice",
+    "ServerDevice",
+    "RealWorldConfig",
+    "WildConfig",
+    "run_realworld_campaign",
+    "run_wild_campaign",
+    "SessionRecord",
+    "Testbed",
+    "TestbedConfig",
+]

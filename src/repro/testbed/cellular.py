@@ -1,0 +1,301 @@
+"""Cellular testbed: phone -- 3G cell -- RNC -- WAN -- server.
+
+Supports the Section 6.2 extension: "introducing more VPs (e.g., on 3G
+RNCs)".  The RNC takes the router's place in the feature namespace
+(prefix ``router_``), contributing passive flow metrics plus the bearer
+state only an operator can see (RSCP, CQI, HARQ, handovers, cell load).
+
+Cellular-specific conditions are injected directly (no registry):
+
+* ``cell_load``   -- a busy cell (background load share),
+* ``weak_signal`` -- low RSCP at the UE,
+* plus the standard ``wan_congestion`` / ``mobile_load`` faults, which
+  work unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.probes.application import ApplicationProbe
+from repro.probes.hardware import HardwareProbe
+from repro.probes.link import LinkProbe
+from repro.probes.rnc import RncProbe
+from repro.probes.tstat import TstatProbe
+from repro.simnet.cellular import CellularCell
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel, NetemChannel
+from repro.simnet.node import Host, Router, wire
+from repro.testbed.devices import MobileDevice, RouterDevice, ServerDevice
+from repro.testbed.testbed import SessionRecord
+from repro.traffic.apachebench import ApacheBenchLoad
+from repro.traffic.ditg import BackgroundTraffic, TrafficMix
+from repro.video.catalog import VideoCatalog, VideoProfile
+from repro.video.mos import mos_to_severity
+from repro.video.server import VideoServer
+from repro.video.session import VideoSession
+
+#: condition -> (label location, injector)  -- see apply_condition
+CELL_CONDITIONS = ("none", "cell_load", "weak_signal", "wan_congestion", "mobile_load")
+
+
+@dataclass
+class CellularConfig:
+    seed: int = 0
+    cell_capacity_bps: float = 7.2e6
+    base_cell_load_range: tuple = (0.15, 0.45)
+    ue_rscp_range: tuple = (-95.0, -70.0)
+    warmup_s: float = 3.0
+
+
+class CellularTestbed:
+    """One phone streaming over a simulated 3G cell."""
+
+    def __init__(self, config: Optional[CellularConfig] = None):
+        self.config = config or CellularConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed)
+        sim = self.sim
+        self.rng = sim.fork_rng("cellbed")
+
+        self.server = Host(sim, "server")
+        self.rnc = Router(sim, "router", bridge_rate_bps=100e6)
+        self.phone = Host(sim, "phone")
+        self.wired_client = Host(sim, "wired")
+
+        # Core/WAN between server and RNC (operator backhaul + internet).
+        self.wan_down = NetemChannel(
+            sim, "wan.down", "mobile",
+            rate_bps=30e6, delay=0.025, jitter=0.008, loss=0.002,
+        )
+        self.wan_up = NetemChannel(
+            sim, "wan.up", "mobile",
+            rate_bps=30e6, delay=0.025, jitter=0.008, loss=0.002,
+        )
+        wire(sim, self.server, "eth0", self.rnc, "wan0", self.wan_down, self.wan_up)
+        self.eth_down = Channel(sim, "eth.down", 100e6, delay=0.0002)
+        self.eth_up = Channel(sim, "eth.up", 100e6, delay=0.0002)
+        wire(sim, self.rnc, "eth0", self.wired_client, "eth0",
+             self.eth_down, self.eth_up)
+
+        # The cell.
+        self.cell = CellularCell(
+            sim,
+            capacity_bps=cfg.cell_capacity_bps,
+            background_load=self.rng.uniform(*cfg.base_cell_load_range),
+        )
+        rnc_cell_if = self.rnc.add_interface("cell0")
+        phone_if = self.phone.add_interface("cell0")
+        self.cell.attach_rnc(rnc_cell_if)
+        self.ue = self.cell.add_ue(
+            "phone", phone_if, base_rscp=self.rng.uniform(*cfg.ue_rscp_range)
+        )
+
+        self.server.set_default_route(self.server.interfaces["eth0"])
+        self.rnc.add_route("server", self.rnc.interfaces["wan0"])
+        self.rnc.add_route("phone", rnc_cell_if)
+        self.rnc.add_route("wired", self.rnc.interfaces["eth0"])
+        self.phone.set_default_route(phone_if)
+        self.wired_client.set_default_route(self.wired_client.interfaces["eth0"])
+
+        self.video_server = VideoServer(sim, self.server, mode="youtube")
+        self.phone_device = MobileDevice(sim, self.phone)
+        self.rnc_device = RouterDevice(sim, self.rnc)
+        self.server_device = ServerDevice(sim, self.video_server)
+        self.ab_load = ApacheBenchLoad(
+            sim, self.video_server, base_load=self.rng.uniform(0.05, 0.4)
+        )
+        self.background = BackgroundTraffic(
+            sim, self.server, self.wired_client, self.phone,
+            mix=TrafficMix(intensity=self.rng.uniform(0.5, 1.5),
+                           phone_apps=False),
+        )
+
+    # -- condition injection --------------------------------------------------
+
+    def apply_condition(self, condition: str, severity: str,
+                        rng: random.Random) -> Dict[str, float]:
+        """Inject one cellular-world problem; returns its intensity."""
+        if condition == "none":
+            return {}
+        if condition == "cell_load":
+            load = rng.uniform(0.6, 0.8) if severity == "mild" else rng.uniform(0.85, 0.97)
+            self.cell.set_background_load(load)
+            return {"cell_load": load}
+        if condition == "weak_signal":
+            rscp = rng.uniform(-108, -103) if severity == "mild" else rng.uniform(-116, -109)
+            self.ue.base_rscp = rscp
+            # Poor coverage area: neighbour cells are no better, so a
+            # handover cannot escape the condition.
+            self.cell.handover_rscp_range = (rscp - 2.0, rscp + 4.0)
+            return {"rscp": rscp}
+        if condition == "wan_congestion":
+            from repro.faults.congestion import WanCongestion
+
+            fault = WanCongestion(severity, rng)
+            fault.apply(self)
+            self._fault = fault
+            return dict(fault.intensity)
+        if condition == "mobile_load":
+            from repro.faults.load import MobileLoad
+
+            fault = MobileLoad(severity, rng)
+            fault.apply(self)
+            self._fault = fault
+            return dict(fault.intensity)
+        raise ValueError(f"unknown cellular condition {condition!r}")
+
+    def clear_condition(self) -> None:
+        fault = getattr(self, "_fault", None)
+        if fault is not None:
+            fault.clear(self)
+            self._fault = None
+
+    #: location labels for the cellular conditions
+    CONDITION_LOCATION = {
+        "cell_load": "lan",     # the access segment
+        "weak_signal": "lan",
+        "wan_congestion": "wan",
+        "mobile_load": "mobile",
+    }
+
+    # -- session ------------------------------------------------------------
+
+    def run_video_session(
+        self,
+        profile: VideoProfile,
+        condition: str = "none",
+        severity: str = "mild",
+        rng: Optional[random.Random] = None,
+    ) -> SessionRecord:
+        rng = rng or self.rng
+        sim = self.sim
+        self.background.start()
+        self.ab_load.start()
+        sim.run(until=sim.now + self.config.warmup_s)
+        intensity = self.apply_condition(condition, severity, rng)
+        sim.run(until=sim.now + 1.0)
+
+        self.phone_device.new_session(profile)
+        tstat_mobile = TstatProbe(sim, "tstat.mobile")
+        tstat_mobile.attach(self.phone.interfaces["cell0"])
+        tstat_rnc = TstatProbe(sim, "tstat.rnc")
+        tstat_rnc.attach(self.rnc.interfaces["wan0"])
+        tstat_server = TstatProbe(sim, "tstat.server")
+        tstat_server.attach(self.server.interfaces["eth0"])
+        hw = {
+            "mobile": HardwareProbe(sim, self.phone_device.cpu_utilization,
+                                    self.phone_device.free_memory),
+            "router": HardwareProbe(sim, self.rnc_device.cpu_utilization,
+                                    self.rnc_device.free_memory),
+            "server": HardwareProbe(sim, self.server_device.cpu_utilization,
+                                    self.server_device.free_memory),
+        }
+        # The phone sees its own radio state; the RNC sees the full bearer.
+        radio_phone = RncProbe(sim, self.ue)
+        radio_rnc = RncProbe(sim, self.ue)
+        link_mobile = LinkProbe(sim, self.phone.interfaces["cell0"])
+        link_server = LinkProbe(sim, self.server.interfaces["eth0"])
+        for probe in (*hw.values(), radio_phone, radio_rnc, link_mobile,
+                      link_server):
+            probe.start()
+
+        session = VideoSession(
+            sim, self.phone, self.video_server, profile,
+            decode_speed_fn=self.phone_device.decode_speed,
+            recv_capacity_fn=self.phone_device.recv_capacity,
+        )
+        session.start()
+        deadline = sim.now + session.hard_timeout_s + 10.0
+        while not session.finished and sim.now < deadline:
+            sim.run(until=min(deadline, sim.now + 1.0))
+
+        features: Dict[str, float] = {}
+
+        def add(prefix: str, metrics: Dict[str, float]) -> None:
+            for key, value in metrics.items():
+                features[f"{prefix}_{key}"] = float(value)
+
+        flow = session.flow_key
+        add("mobile_tcp", tstat_mobile.metrics_for(flow))
+        add("router_tcp", tstat_rnc.metrics_for(flow))
+        add("server_tcp", tstat_server.metrics_for(flow))
+        for vp, probe in hw.items():
+            add(f"{vp}_hw", probe.stop())
+        phone_radio = radio_phone.stop()
+        phone_radio.pop("cell_load", None)  # the phone cannot see cell state
+        add("mobile_radio", phone_radio)
+        add("router_radio", radio_rnc.stop())
+        add("mobile_link", link_mobile.stop())
+        add("server_link", link_server.stop())
+        for probe in (tstat_mobile, tstat_rnc, tstat_server):
+            probe.detach()
+
+        app_metrics = ApplicationProbe().collect(session)
+        mos = session.mos().mos
+        sev = mos_to_severity(mos)
+        self.phone_device.end_session()
+        self.clear_condition()
+
+        good = sev == "good" or condition == "none"
+        location = self.CONDITION_LOCATION.get(condition, "")
+        return SessionRecord(
+            features=features,
+            app_metrics=app_metrics,
+            mos=mos,
+            severity=sev,
+            fault_name=condition if condition != "none" else "none",
+            fault_severity=severity if condition != "none" else "",
+            fault_location=location,
+            fault_intensity=intensity,
+            meta={
+                "video_id": profile.video_id,
+                "bitrate_bps": profile.bitrate_bps,
+                "duration_s": profile.duration_s,
+                "wan_profile": "cellular",
+                "server_mode": "youtube",
+                "seed": self.config.seed,
+                "session_s": session.duration,
+                "true_cpu": features.get("mobile_hw_cpu_avg", 0.0),
+                "true_rssi": features.get("mobile_radio_rscp_avg", 0.0),
+            },
+        )
+
+    def shutdown(self) -> None:
+        self.background.stop()
+        self.ab_load.stop()
+
+
+def run_cellular_campaign(
+    n_instances: int = 120,
+    seed: int = 31337,
+    healthy_fraction: float = 0.45,
+    progress: Optional[Callable[[int, SessionRecord], None]] = None,
+) -> List[SessionRecord]:
+    """A labelled campaign over the cellular testbed."""
+    rng = random.Random(seed)
+    catalog = VideoCatalog(size=100, duration_range=(18.0, 45.0),
+                           seed=seed ^ 0x5EED)
+    records: List[SessionRecord] = []
+    conditions = [c for c in CELL_CONDITIONS if c != "none"]
+    for index in range(n_instances):
+        instance_seed = rng.randrange(2**31)
+        scenario_rng = random.Random(instance_seed)
+        bed = CellularTestbed(CellularConfig(seed=instance_seed))
+        condition = "none"
+        severity = "mild"
+        if scenario_rng.random() >= healthy_fraction:
+            condition = scenario_rng.choice(conditions)
+            severity = "mild" if scenario_rng.random() < 0.5 else "severe"
+        record = bed.run_video_session(
+            catalog.pick(scenario_rng), condition=condition,
+            severity=severity, rng=scenario_rng,
+        )
+        record.meta["instance_index"] = index
+        bed.shutdown()
+        records.append(record)
+        if progress is not None:
+            progress(index, record)
+    return records

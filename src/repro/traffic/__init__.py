@@ -1,0 +1,18 @@
+"""Background traffic: the D-ITG and ApacheBench stand-ins.
+
+Section 4.2 of the paper: "To recreate realistic network conditions, we
+introduce synthetic competing traffic workloads of different patterns ...
+using the D-ITG generator, which supports traffic generation based on
+different applications such as Telnet, FTP, gaming, VoIP and more.  We also
+use ApacheBench to create a realistic load on the server."
+
+:class:`BackgroundTraffic` schedules randomized application flows (VoIP,
+gaming, web, FTP, telnet) across the testbed for the campaign duration;
+:class:`ApacheBenchLoad` modulates the video server's CPU load with a
+mean-reverting process.
+"""
+
+from repro.traffic.apachebench import ApacheBenchLoad
+from repro.traffic.ditg import BackgroundTraffic, TrafficMix
+
+__all__ = ["ApacheBenchLoad", "BackgroundTraffic", "TrafficMix"]

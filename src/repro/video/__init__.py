@@ -1,0 +1,36 @@
+"""Video delivery: catalog, servers, the mobile player and the MOS model.
+
+This package models the application layer of the paper's testbed:
+
+* :mod:`repro.video.catalog` -- a synthetic stand-in for the YouTube
+  "top 100 most viewed" collection (SD/HD mix, realistic durations).
+* :mod:`repro.video.server` -- HTTP-like video delivery over the simulated
+  TCP: Apache-style whole-file transfer and YouTube-style paced delivery,
+  with a load-dependent response model (ApacheBench background load).
+* :mod:`repro.video.player` -- the progressive-download player: startup
+  buffering, rebuffering stalls, decoder-limited playback (frame skips
+  under CPU load), buffer capacity under memory pressure, abandonment.
+* :mod:`repro.video.mos` -- the Mok et al. regression converting startup
+  delay / stall frequency / stall duration into a Mean Opinion Score,
+  which provides the QoE ground-truth labels.
+* :mod:`repro.video.session` -- glue that runs one video session and
+  gathers the application-layer metrics.
+"""
+
+from repro.video.catalog import VideoCatalog, VideoProfile
+from repro.video.mos import MosModel, mos_to_severity
+from repro.video.player import PlayerConfig, PlayerMetrics, VideoPlayer
+from repro.video.server import VideoServer
+from repro.video.session import VideoSession
+
+__all__ = [
+    "VideoCatalog",
+    "VideoProfile",
+    "MosModel",
+    "mos_to_severity",
+    "PlayerConfig",
+    "PlayerMetrics",
+    "VideoPlayer",
+    "VideoServer",
+    "VideoSession",
+]

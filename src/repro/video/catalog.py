@@ -1,0 +1,127 @@
+"""Synthetic video catalog.
+
+The paper downloads the YouTube "top 100 most viewed" videos in Standard or
+High Definition "to ensure the diversity of the video collection".  We
+cannot ship those files, so this module generates a catalog with the same
+diversity axes: definition (SD/HD), bitrate, and duration.  Bitrates follow
+the 2015-era YouTube ladder; durations are log-normal like short-form
+online video.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: (definition, resolution, mean bitrate bit/s) -- 2015-era YouTube ladder.
+#: The paper streams the top-100 videos in "Standard or High Definition";
+#: 720p is the HD tier a 7.8 Mbit/s DSL emulation can sustain, matching
+#: what the testbed phones would actually fetch.
+_BITRATE_LADDER = [
+    ("SD", "360p", 0.75e6),
+    ("SD", "480p", 1.1e6),
+    ("HD", "720p", 1.8e6),
+    ("HD", "720p60", 2.3e6),
+]
+
+
+@dataclass(frozen=True)
+class VideoProfile:
+    """Static description of one catalog entry."""
+
+    video_id: str
+    definition: str  # "SD" or "HD"
+    resolution: str
+    bitrate_bps: float
+    duration_s: float
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.bitrate_bps * self.duration_s / 8.0)
+
+    @property
+    def byte_rate(self) -> float:
+        """Average payload bytes per second of content."""
+        return self.bitrate_bps / 8.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.video_id} [{self.definition}/{self.resolution} "
+            f"{self.bitrate_bps / 1e6:.2f}Mbps {self.duration_s:.0f}s]"
+        )
+
+
+class VideoCatalog:
+    """A reproducible collection of :class:`VideoProfile` entries.
+
+    Parameters
+    ----------
+    size:
+        Number of videos (the paper uses the top-100 list).
+    duration_range:
+        ``(min, max)`` clamp for durations in seconds.  Campaigns use a
+        reduced range so a full dataset stays simulable on one machine;
+        the default matches short online videos.
+    hd_fraction:
+        Share of HD entries (the paper mixes SD and HD).
+    seed:
+        Catalog-level RNG seed; the same seed yields the same catalog.
+    """
+
+    def __init__(
+        self,
+        size: int = 100,
+        duration_range: tuple = (30.0, 240.0),
+        hd_fraction: float = 0.5,
+        seed: int = 7,
+    ):
+        if size <= 0:
+            raise ValueError("catalog size must be positive")
+        lo, hi = duration_range
+        if lo <= 0 or hi < lo:
+            raise ValueError("invalid duration_range")
+        self.seed = seed
+        rng = random.Random(seed)
+        self.videos: List[VideoProfile] = []
+        for index in range(size):
+            is_hd = rng.random() < hd_fraction
+            ladder = [e for e in _BITRATE_LADDER if (e[0] == "HD") == is_hd]
+            definition, resolution, mean_rate = rng.choice(ladder)
+            bitrate = mean_rate * rng.uniform(0.85, 1.15)
+            # Log-normal durations clamped into the requested range.
+            duration = math.exp(rng.gauss(math.log(lo * 1.6), 0.5))
+            duration = min(hi, max(lo, duration))
+            self.videos.append(
+                VideoProfile(
+                    video_id=f"vid{index:03d}",
+                    definition=definition,
+                    resolution=resolution,
+                    bitrate_bps=bitrate,
+                    duration_s=duration,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.videos)
+
+    def __iter__(self):
+        return iter(self.videos)
+
+    def __getitem__(self, index: int) -> VideoProfile:
+        return self.videos[index]
+
+    def get(self, video_id: str) -> Optional[VideoProfile]:
+        for video in self.videos:
+            if video.video_id == video_id:
+                return video
+        return None
+
+    def pick(self, rng: random.Random) -> VideoProfile:
+        """Random video, like the paper's app launching random top-100 videos."""
+        return rng.choice(self.videos)
+
+    def pick_sd(self, rng: random.Random) -> VideoProfile:
+        sd = [v for v in self.videos if v.definition == "SD"]
+        return rng.choice(sd) if sd else self.pick(rng)

@@ -1,0 +1,88 @@
+"""Mean Opinion Score model (Mok et al., IM 2011).
+
+The paper labels every video session by converting application performance
+metrics to a MOS "based on the work of Mok et al. who derived an equation
+for calculating the MOS from performance metrics by means of regression
+analysis" (Section 4.4):
+
+    MOS = 4.23 - 0.0672 * L_ti - 0.742 * L_fr - 0.106 * L_td
+
+where ``L_ti`` (initial/startup delay), ``L_fr`` (rebuffering frequency)
+and ``L_td`` (mean rebuffering duration) are quantised into three levels
+{1, 2, 3}.  The resulting score spans [1.48, 3.31], which is consistent
+with the paper's thresholds: MOS > 3 is *good*, 2..3 is *mild*, < 2 is
+*severe*.  Sessions that never start playing are scored 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GOOD_THRESHOLD = 3.0
+MILD_THRESHOLD = 2.0
+
+#: Quantisation boundaries (level 1 below first bound, 3 above second).
+TI_BOUNDS = (1.0, 5.0)  # startup delay, seconds
+FR_BOUNDS = (0.02, 0.15)  # stall events per second of session
+TD_BOUNDS = (1.0, 5.0)  # mean stall duration, seconds
+
+_INTERCEPT = 4.23
+_W_TI = 0.0672
+_W_FR = 0.742
+_W_TD = 0.106
+
+
+def _level(value: float, bounds: tuple) -> int:
+    low, high = bounds
+    if value <= low:
+        return 1
+    if value <= high:
+        return 2
+    return 3
+
+
+@dataclass(frozen=True)
+class MosResult:
+    """Score plus the quantised levels (useful for tests and reports)."""
+
+    mos: float
+    level_ti: int
+    level_fr: int
+    level_td: int
+
+
+class MosModel:
+    """Callable MOS estimator over application QoE metrics."""
+
+    def score(
+        self,
+        startup_delay_s: float,
+        stall_count: int,
+        total_stall_s: float,
+        session_duration_s: float,
+        started: bool = True,
+    ) -> MosResult:
+        """Compute the MOS for one session.
+
+        ``session_duration_s`` is the wall-clock length of the session
+        (playback plus stalls); the stall frequency is stalls per second of
+        session, as in Mok et al.
+        """
+        if not started or session_duration_s <= 0:
+            return MosResult(1.0, 3, 3, 3)
+        freq = stall_count / session_duration_s
+        mean_stall = total_stall_s / stall_count if stall_count else 0.0
+        l_ti = _level(startup_delay_s, TI_BOUNDS)
+        l_fr = _level(freq, FR_BOUNDS) if stall_count else 1
+        l_td = _level(mean_stall, TD_BOUNDS) if stall_count else 1
+        mos = _INTERCEPT - _W_TI * l_ti - _W_FR * l_fr - _W_TD * l_td
+        return MosResult(mos, l_ti, l_fr, l_td)
+
+
+def mos_to_severity(mos: float) -> str:
+    """Map a MOS to the paper's three QoE classes."""
+    if mos > GOOD_THRESHOLD:
+        return "good"
+    if mos >= MILD_THRESHOLD:
+        return "mild"
+    return "severe"

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+The expensive fixture is a small controlled campaign dataset; it is
+session-scoped and cached on disk via the experiments cache, so the suite
+pays for it once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.testbed.campaign import CampaignConfig, run_campaign
+from repro.testbed.testbed import Testbed, TestbedConfig
+
+
+@pytest.fixture(scope="session")
+def mini_campaign_records():
+    """A tiny but label-diverse campaign shared across the test session."""
+    config = CampaignConfig(
+        n_instances=28,
+        seed=99,
+        healthy_fraction=0.35,
+        video_duration_range=(12.0, 20.0),
+    )
+    return run_campaign(config)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset(mini_campaign_records) -> Dataset:
+    return Dataset.from_records(mini_campaign_records)
+
+
+@pytest.fixture()
+def testbed() -> Testbed:
+    return Testbed(TestbedConfig(seed=7))

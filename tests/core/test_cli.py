@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pickle
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def dataset_file(tmp_path, mini_dataset):
+    path = tmp_path / "mini.pkl"
+    with path.open("wb") as fh:
+        pickle.dump(mini_dataset, fh)
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_evaluate_fig3_on_pickle(dataset_file, capsys):
+    rc = main(["evaluate", "--experiment", "fig3", "--dataset", dataset_file])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Problem detection" in out and "accuracy" in out
+
+
+def test_evaluate_table1_on_pickle(dataset_file, capsys):
+    rc = main(["evaluate", "--experiment", "table1", "--dataset", dataset_file])
+    assert rc == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_evaluate_transfer_experiment(dataset_file, capsys):
+    rc = main([
+        "evaluate", "--experiment", "fig8",
+        "--train", dataset_file, "--dataset", dataset_file,
+    ])
+    assert rc == 0
+    assert "Figure 8" in capsys.readouterr().out
+
+
+def test_diagnose_prints_reports(dataset_file, capsys):
+    rc = main([
+        "diagnose", "--train", dataset_file, "--dataset", dataset_file,
+        "--vps", "mobile", "--limit", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("truth=") == 4
+    assert "agreement" in out
+
+
+def test_campaign_roundtrip(tmp_path, capsys, monkeypatch):
+    out_path = tmp_path / "out.pkl"
+
+    # Keep the CLI test fast: patch the dataset builder.
+    import repro.cli as cli
+
+    def tiny(kind, instances):
+        from repro.core.dataset import Dataset, Instance
+        return Dataset([
+            Instance(features={"mobile_tcp_pkts": 1.0},
+                     labels={"severity": "good", "location": "good",
+                             "exact": "good", "existence": "good"})
+        ])
+
+    monkeypatch.setattr(cli, "_default_dataset", tiny)
+    rc = main(["campaign", "--kind", "controlled", "--out", str(out_path)])
+    assert rc == 0
+    with out_path.open("rb") as fh:
+        ds = pickle.load(fh)
+    assert len(ds) == 1
+
+
+def test_bad_pickle_rejected(tmp_path):
+    path = tmp_path / "junk.pkl"
+    with path.open("wb") as fh:
+        pickle.dump({"not": "a dataset"}, fh)
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--experiment", "fig3", "--dataset", str(path)])
+
+
+def test_report_command(dataset_file, capsys):
+    rc = main(["report", "--train", dataset_file, "--dataset", dataset_file])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fleet QoE report" in out
+
+
+def test_diagnose_explain_flag(dataset_file, capsys):
+    rc = main([
+        "diagnose", "--train", dataset_file, "--dataset", dataset_file,
+        "--vps", "mobile", "--limit", "2", "--explain",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "because" in out

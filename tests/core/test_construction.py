@@ -1,0 +1,98 @@
+"""Unit tests for Feature Construction (Section 3.2)."""
+
+import pytest
+
+from repro.core.construction import FeatureConstructor
+from repro.core.dataset import Dataset, Instance
+
+
+def make_instance(rx_rate, retx=5.0, pkts=100.0, session_s=20.0):
+    return Instance(
+        features={
+            "mobile_tcp_s2c_retx_pkts": retx,
+            "mobile_tcp_s2c_pkts": pkts,
+            "mobile_tcp_s2c_retx_bytes": retx * 1460,
+            "mobile_tcp_s2c_bytes": pkts * 1460,
+            "mobile_tcp_flow_duration": 15.0,
+            "mobile_link_rx_rate": rx_rate,
+            "mobile_link_tx_rate": rx_rate / 10,
+            "mobile_hw_cpu_avg": 0.4,
+        },
+        labels={"severity": "good", "location": "good", "exact": "good",
+                "existence": "good"},
+        meta={"session_s": session_s},
+    )
+
+
+@pytest.fixture()
+def dataset():
+    return Dataset([make_instance(2e6), make_instance(8e6), make_instance(4e6)])
+
+
+def test_fit_learns_max_rates(dataset):
+    fc = FeatureConstructor().fit(dataset)
+    assert fc.nic_max_rates["mobile_link_rx_rate"] == 8e6
+
+
+def test_utilization_in_unit_interval(dataset):
+    fc = FeatureConstructor().fit(dataset)
+    out = fc.transform(dataset)
+    utils = [inst.features["mobile_link_rx_util"] for inst in out]
+    assert utils == pytest.approx([0.25, 1.0, 0.5])
+    assert all(0.0 <= u <= 1.0 for u in utils)
+
+
+def test_count_normalisation_by_totals(dataset):
+    fc = FeatureConstructor().fit(dataset)
+    inst = fc.transform(dataset)[0]
+    assert inst.features["mobile_tcp_s2c_retx_pkts_norm"] == pytest.approx(0.05)
+    assert inst.features["mobile_tcp_s2c_retx_bytes_norm"] == pytest.approx(0.05)
+
+
+def test_duration_normalised_by_session(dataset):
+    fc = FeatureConstructor().fit(dataset)
+    inst = fc.transform(dataset)[0]
+    assert inst.features["mobile_tcp_flow_duration_norm"] == pytest.approx(15.0 / 20.0)
+
+
+def test_zero_totals_safe():
+    ds = Dataset([make_instance(1e6, retx=0.0, pkts=0.0)])
+    fc = FeatureConstructor().fit(ds)
+    inst = fc.transform(ds)[0]
+    assert inst.features["mobile_tcp_s2c_retx_pkts_norm"] == 0.0
+
+
+def test_raw_features_preserved(dataset):
+    fc = FeatureConstructor().fit(dataset)
+    inst = fc.transform(dataset)[0]
+    assert inst.features["mobile_tcp_s2c_retx_pkts"] == 5.0
+    assert inst.features["mobile_hw_cpu_avg"] == 0.4
+
+
+def test_transform_before_fit_rejected(dataset):
+    with pytest.raises(RuntimeError):
+        FeatureConstructor().transform(dataset)
+
+
+def test_transform_unseen_instance(dataset):
+    """A live instance (diagnosis time) uses the *training* maxima."""
+    fc = FeatureConstructor().fit(dataset)
+    live = fc.transform_features(make_instance(16e6).features)
+    assert live["mobile_link_rx_util"] == 1.0  # clamped
+
+
+def test_constructed_names_listed(dataset):
+    fc = FeatureConstructor().fit(dataset)
+    names = fc.constructed_names(dataset.feature_names)
+    assert "mobile_tcp_s2c_retx_pkts_norm" in names
+    assert "mobile_link_rx_util" in names
+
+
+def test_on_real_campaign(mini_dataset):
+    fc = FeatureConstructor().fit(mini_dataset)
+    out = fc.transform(mini_dataset)
+    util_names = [n for n in out.feature_names if n.endswith("_util")]
+    assert len(util_names) >= 6
+    X = out.to_matrix(util_names)
+    assert X.min() >= 0.0 and X.max() <= 1.0
+    assert X.max() == 1.0  # someone is the max for each NIC

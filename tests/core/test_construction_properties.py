@@ -1,0 +1,77 @@
+"""Property-based tests for Feature Construction invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import FeatureConstructor
+from repro.core.dataset import Dataset, Instance
+
+
+def make_dataset(rates, retx_pairs):
+    instances = []
+    for rate, (retx, pkts) in zip(rates, retx_pairs):
+        instances.append(Instance(
+            features={
+                "mobile_link_rx_rate": rate,
+                "mobile_tcp_s2c_retx_pkts": float(retx),
+                "mobile_tcp_s2c_pkts": float(pkts),
+            },
+            labels={"severity": "good", "location": "good", "exact": "good",
+                    "existence": "good"},
+            meta={"session_s": 10.0},
+        ))
+    return Dataset(instances)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rates=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=1,
+                   max_size=12),
+)
+def test_utilization_always_in_unit_interval(rates):
+    ds = make_dataset(rates, [(0, 10)] * len(rates))
+    fc = FeatureConstructor().fit(ds)
+    out = fc.transform(ds)
+    utils = [inst.features["mobile_link_rx_util"] for inst in out]
+    assert all(0.0 <= u <= 1.0 for u in utils)
+    assert max(utils) == 1.0  # the dataset maximum defines full utilisation
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    retx=st.integers(min_value=0, max_value=1000),
+    pkts=st.integers(min_value=0, max_value=100000),
+)
+def test_count_normalisation_bounded(retx, pkts):
+    retx = min(retx, pkts)  # cannot retransmit more packets than seen
+    ds = make_dataset([1e6], [(retx, pkts)])
+    fc = FeatureConstructor().fit(ds)
+    out = fc.transform(ds)
+    norm = out[0].features["mobile_tcp_s2c_retx_pkts_norm"]
+    assert 0.0 <= norm <= 1.0
+    if pkts > 0:
+        assert norm == retx / pkts
+
+
+@settings(max_examples=30, deadline=None)
+@given(scale=st.floats(min_value=0.1, max_value=10.0))
+def test_transform_is_scale_equivariant_for_utilization(scale):
+    """Scaling every NIC rate by a constant leaves utilisations unchanged."""
+    base = [1e5, 5e5, 1e6]
+    a = make_dataset(base, [(0, 10)] * 3)
+    b = make_dataset([r * scale for r in base], [(0, 10)] * 3)
+    util_a = [i.features["mobile_link_rx_util"]
+              for i in FeatureConstructor().fit_transform(a)]
+    util_b = [i.features["mobile_link_rx_util"]
+              for i in FeatureConstructor().fit_transform(b)]
+    for x, y in zip(util_a, util_b):
+        assert abs(x - y) < 1e-9
+
+
+def test_transform_idempotent_on_constructed_names():
+    """Re-transforming constructed output does not nest suffixes."""
+    ds = make_dataset([1e6, 2e6], [(1, 10), (2, 20)])
+    fc = FeatureConstructor().fit(ds)
+    once = fc.transform(ds)
+    twice = fc.transform(once)
+    bad = [n for n in twice.feature_names if n.endswith("_norm_norm")]
+    assert bad == []

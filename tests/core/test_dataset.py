@@ -1,0 +1,85 @@
+"""Unit tests for Dataset/Instance."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset, Instance
+
+
+def make_instance(i, label="good", extra=None):
+    features = {"mobile_tcp_pkts": float(i), "server_hw_cpu_avg": 0.1 * i}
+    if extra:
+        features.update(extra)
+    return Instance(
+        features=features,
+        labels={"severity": label, "location": label, "exact": label,
+                "existence": "good" if label == "good" else "problematic"},
+        mos=3.5 if label == "good" else 1.5,
+        meta={"idx": i},
+    )
+
+
+def test_feature_universe_is_union():
+    ds = Dataset([
+        make_instance(0),
+        make_instance(1, extra={"router_tcp_rtt": 0.1}),
+    ])
+    assert "router_tcp_rtt" in ds.feature_names
+    assert ds.feature_names == sorted(ds.feature_names)
+
+
+def test_to_matrix_zero_fills_missing():
+    ds = Dataset([
+        make_instance(0),
+        make_instance(1, extra={"router_tcp_rtt": 0.5}),
+    ])
+    X = ds.to_matrix(["router_tcp_rtt"])
+    assert X[0, 0] == 0.0
+    assert X[1, 0] == 0.5
+
+
+def test_to_matrix_subset_order():
+    ds = Dataset([make_instance(3)])
+    X = ds.to_matrix(["server_hw_cpu_avg", "mobile_tcp_pkts"])
+    assert X[0, 0] == pytest.approx(0.3)
+    assert X[0, 1] == 3.0
+
+
+def test_labels_array():
+    ds = Dataset([make_instance(0), make_instance(1, "severe")])
+    assert list(ds.labels("severity")) == ["good", "severe"]
+    assert list(ds.labels("existence")) == ["good", "problematic"]
+
+
+def test_label_counts():
+    ds = Dataset([make_instance(i, "good" if i % 2 else "mild") for i in range(6)])
+    assert ds.label_counts("severity") == {"good": 3, "mild": 3}
+
+
+def test_filter():
+    ds = Dataset([make_instance(i, "good" if i < 3 else "severe") for i in range(5)])
+    bad = ds.filter(lambda inst: inst.label("severity") != "good")
+    assert len(bad) == 2
+
+
+def test_merge():
+    a = Dataset([make_instance(0)])
+    b = Dataset([make_instance(1, extra={"x_y_z": 1.0})])
+    merged = a.merged_with(b)
+    assert len(merged) == 2
+    assert "x_y_z" in merged.feature_names
+
+
+def test_iteration_and_indexing():
+    ds = Dataset([make_instance(i) for i in range(3)])
+    assert ds[1].meta["idx"] == 1
+    assert [inst.meta["idx"] for inst in ds] == [0, 1, 2]
+
+
+def test_from_records(mini_campaign_records):
+    ds = Dataset.from_records(mini_campaign_records)
+    assert len(ds) == len(mini_campaign_records)
+    inst = ds[0]
+    assert set(inst.labels) == {"severity", "location", "exact", "existence"}
+    assert inst.mos == mini_campaign_records[0].mos
+    assert inst.features == mini_campaign_records[0].features

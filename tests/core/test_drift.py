@@ -1,0 +1,91 @@
+"""Tests for the drift monitor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataset import Dataset, Instance
+from repro.core.drift import DriftMonitor, DriftReport, ks_statistic
+
+
+def make_dataset(mean, n=80, seed=0, feature="mobile_tcp_s2c_rtt_avg"):
+    rng = np.random.default_rng(seed)
+    return Dataset([
+        Instance(
+            features={feature: float(rng.normal(mean, 0.01)),
+                      "mobile_hw_cpu_avg": float(rng.uniform(0, 1))},
+            labels={"severity": "good", "location": "good", "exact": "good",
+                    "existence": "good"},
+        )
+        for _ in range(n)
+    ])
+
+
+class TestKs:
+    def test_identical_samples_zero(self):
+        a = np.arange(100, dtype=float)
+        assert ks_statistic(a, a.copy()) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic(np.zeros(50), np.ones(50) * 10) == 1.0
+
+    def test_empty_sample_zero(self):
+        assert ks_statistic(np.array([]), np.ones(10)) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_bounded_and_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 1, 60)
+        b = rng.normal(0.5, 1.5, 80)
+        ks = ks_statistic(a, b)
+        assert 0.0 <= ks <= 1.0
+        assert ks == pytest.approx(ks_statistic(b, a))
+
+
+class TestMonitor:
+    def test_no_drift_on_same_distribution(self):
+        train = make_dataset(0.05, seed=1)
+        live = make_dataset(0.05, seed=2)
+        monitor = DriftMonitor().fit(train)
+        report = monitor.score(live)
+        assert not report.should_retrain
+        assert report.per_feature["mobile_tcp_s2c_rtt_avg"] < 0.35
+
+    def test_detects_shifted_feature(self):
+        train = make_dataset(0.05, seed=1)
+        live = make_dataset(0.5, seed=2)  # 10x the RTT
+        monitor = DriftMonitor().fit(train)
+        report = monitor.score(live)
+        assert "mobile_tcp_s2c_rtt_avg" in report.drifted
+        # uniform CPU stays in place
+        assert report.per_feature["mobile_hw_cpu_avg"] < 0.35
+
+    def test_retrain_gate(self):
+        train = make_dataset(0.05, seed=1)
+        live = make_dataset(0.5, seed=2)
+        monitor = DriftMonitor(retrain_share=0.4).fit(train)
+        report = monitor.score(live)
+        # 1 of 2 features drifted -> share 0.5 >= 0.4
+        assert report.should_retrain
+
+    def test_feature_scoping(self):
+        train = make_dataset(0.05, seed=1)
+        monitor = DriftMonitor(features=["mobile_hw_cpu_avg"]).fit(train)
+        report = monitor.score(make_dataset(0.5, seed=2))
+        assert list(report.per_feature) == ["mobile_hw_cpu_avg"]
+
+    def test_unfit_monitor_rejected(self):
+        with pytest.raises(RuntimeError):
+            DriftMonitor().score(make_dataset(0.05))
+
+    def test_report_renders(self):
+        train = make_dataset(0.05, seed=1)
+        monitor = DriftMonitor().fit(train)
+        text = monitor.score(make_dataset(0.5, seed=3)).to_text()
+        assert "Drift report" in text and "retrain" in text
+
+    def test_empty_report(self):
+        report = DriftReport()
+        assert report.drift_share == 0.0
+        assert not report.should_retrain

@@ -1,0 +1,109 @@
+"""Integration tests: evaluation protocol and the RootCauseAnalyzer API."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.diagnosis import DiagnosisReport, RootCauseAnalyzer
+from repro.core.evaluation import evaluate_cv, evaluate_transfer
+
+
+def test_evaluate_cv_runs_per_vp(mini_dataset):
+    res = evaluate_cv(mini_dataset, "severity", ["mobile"], k=4)
+    assert 0.0 <= res.accuracy <= 1.0
+    assert res.confusion.total == len(mini_dataset)
+    assert all(n.startswith("mobile_") for n in res.selected_features)
+    assert res.name == "mobile"
+
+
+def test_evaluate_cv_feature_subset(mini_dataset):
+    subset = [n for n in mini_dataset.feature_names if "rtt" in n][:5]
+    res = evaluate_cv(mini_dataset, "severity", ["mobile"], k=4,
+                      select=False, feature_subset=subset)
+    assert set(res.selected_features) <= set(subset)
+
+
+def test_evaluate_cv_summary_renders(mini_dataset):
+    res = evaluate_cv(mini_dataset, "severity", ["mobile"], k=4)
+    text = res.summary()
+    assert "accuracy" in text and "mobile" in text
+
+
+def test_evaluate_transfer_frozen_pipeline(mini_dataset):
+    res = evaluate_transfer(mini_dataset, mini_dataset, "severity", ["mobile"])
+    # Train==test: transfer accuracy should be high (sanity of plumbing).
+    assert res.accuracy > 0.8
+    assert res.meta["n_train"] == len(mini_dataset)
+
+
+def test_evaluate_transfer_existence_collapse(mini_dataset):
+    res = evaluate_transfer(
+        mini_dataset, mini_dataset, "severity", ["mobile"],
+        test_label_kind="existence",
+    )
+    assert set(res.confusion.labels) <= {"good", "problematic"}
+
+
+class TestRootCauseAnalyzer:
+    def test_requires_known_vps(self):
+        with pytest.raises(ValueError):
+            RootCauseAnalyzer(vps=("cloud",))
+        with pytest.raises(ValueError):
+            RootCauseAnalyzer(vps=())
+
+    def test_requires_enough_data(self):
+        with pytest.raises(ValueError):
+            RootCauseAnalyzer().fit(Dataset([]))
+
+    def test_unfit_diagnose_rejected(self):
+        with pytest.raises(RuntimeError):
+            RootCauseAnalyzer().diagnose({})
+
+    def test_fit_and_diagnose_records(self, mini_dataset):
+        analyzer = RootCauseAnalyzer(vps=("mobile",)).fit(mini_dataset)
+        report = analyzer.diagnose_record(mini_dataset[0])
+        assert isinstance(report, DiagnosisReport)
+        assert report.severity in ("good", "mild", "severe")
+        assert isinstance(report.summary(), str)
+
+    def test_training_set_mostly_rediagnosed(self, mini_dataset):
+        analyzer = RootCauseAnalyzer().fit(mini_dataset)
+        correct = sum(
+            analyzer.diagnose_record(inst).severity == inst.label("severity")
+            for inst in mini_dataset
+        )
+        assert correct / len(mini_dataset) > 0.8
+
+    def test_vp_scoping_enforced(self, mini_dataset):
+        analyzer = RootCauseAnalyzer(vps=("server",)).fit(mini_dataset)
+        for task in ("severity", "location", "exact"):
+            assert all(n.startswith("server_")
+                       for n in analyzer.selected_features(task))
+
+    def test_diagnose_with_missing_features(self, mini_dataset):
+        """Absent VP features are zero-filled, not an error."""
+        analyzer = RootCauseAnalyzer().fit(mini_dataset)
+        report = analyzer.diagnose({"mobile_hw_cpu_avg": 0.9})
+        assert report.severity in ("good", "mild", "severe")
+
+    def test_model_text_interpretable(self, mini_dataset):
+        analyzer = RootCauseAnalyzer().fit(mini_dataset)
+        text = analyzer.model_text("severity")
+        assert "->" in text
+
+    def test_report_properties(self):
+        report = DiagnosisReport(
+            severity="severe",
+            location="lan_severe",
+            exact="wifi_interference_severe",
+            vps=("mobile",),
+        )
+        assert report.has_problem
+        assert report.cause == "wifi_interference"
+        assert report.problem_location == "lan"
+        assert "interference" in report.summary()
+
+    def test_good_report_summary(self):
+        report = DiagnosisReport("good", "good", "good", ("mobile",))
+        assert not report.has_problem
+        assert "good" in report.summary()

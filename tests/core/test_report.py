@@ -1,0 +1,78 @@
+"""Tests for the fleet reporting module."""
+
+import pytest
+
+from repro.core.diagnosis import DiagnosisReport, RootCauseAnalyzer
+from repro.core.report import FleetReport, fleet_report, segment_scorecard
+
+
+@pytest.fixture(scope="module")
+def analyzer_and_report(request):
+    mini = request.getfixturevalue("mini_dataset")
+    analyzer = RootCauseAnalyzer().fit(mini)
+    return analyzer, fleet_report(analyzer, mini), mini
+
+
+@pytest.fixture(scope="module")
+def mini_dataset(request):
+    # bridge the session fixture into module scope
+    return request.getfixturevalue("_session_mini")
+
+
+@pytest.fixture(scope="session")
+def _session_mini(mini_campaign_records):
+    from repro.core.dataset import Dataset
+
+    return Dataset.from_records(mini_campaign_records)
+
+
+def test_fleet_report_counts(analyzer_and_report):
+    _analyzer, report, mini = analyzer_and_report
+    assert report.n_sessions == len(mini)
+    assert sum(report.severity_counts.values()) == len(mini)
+    assert 0.0 <= report.problem_rate <= 1.0
+    assert 1.0 <= report.mean_mos <= 4.23
+
+
+def test_fleet_report_agreement_high_on_training_data(analyzer_and_report):
+    _analyzer, report, _mini = analyzer_and_report
+    assert report.agreement is not None
+    assert report.agreement > 0.8
+
+
+def test_fleet_report_worst_sorted(analyzer_and_report):
+    _analyzer, report, _mini = analyzer_and_report
+    mos_values = [mos for _, mos, _ in report.worst]
+    assert mos_values == sorted(mos_values)
+    assert len(report.worst) <= 5
+
+
+def test_fleet_report_renders(analyzer_and_report):
+    _analyzer, report, _mini = analyzer_and_report
+    text = report.to_text()
+    assert "Fleet QoE report" in text
+    assert "problem rate" in text
+
+
+def test_segment_scorecard_fractions():
+    reports = [
+        DiagnosisReport("severe", "wan_severe", "wan_congestion_severe", ("mobile",)),
+        DiagnosisReport("mild", "wan_mild", "wan_shaping_mild", ("mobile",)),
+        DiagnosisReport("severe", "lan_severe", "low_rssi_severe", ("mobile",)),
+        DiagnosisReport("good", "good", "good", ("mobile",)),
+    ]
+    card = segment_scorecard(reports)
+    assert card["wan"] == pytest.approx(2 / 3)
+    assert card["lan"] == pytest.approx(1 / 3)
+    assert sum(card.values()) == pytest.approx(1.0)
+
+
+def test_segment_scorecard_empty():
+    good = [DiagnosisReport("good", "good", "good", ("mobile",))]
+    assert segment_scorecard(good) == {}
+
+
+def test_empty_fleet_report():
+    report = FleetReport()
+    assert report.problem_rate == 0.0
+    assert "sessions: 0" in report.to_text()

@@ -1,0 +1,95 @@
+"""Failure-injection and robustness tests for the RCA pipeline.
+
+The paper's deployment reality: vantage points disappear (Section 6.2),
+probes fail mid-session, and values arrive degenerate.  The pipeline must
+degrade, not crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import FeatureConstructor
+from repro.core.dataset import Dataset, Instance
+from repro.core.diagnosis import RootCauseAnalyzer
+from repro.core.evaluation import evaluate_cv
+from repro.ml.fcbf import fcbf
+from repro.ml.tree import C45Tree
+
+
+def _degrade(inst: Instance, drop_prefix: str) -> Instance:
+    features = {k: (0.0 if k.startswith(drop_prefix) else v)
+                for k, v in inst.features.items()}
+    return Instance(features=features, labels=dict(inst.labels),
+                    mos=inst.mos, meta=dict(inst.meta))
+
+
+def test_diagnosis_with_missing_vantage_point(mini_dataset):
+    """A combined-trained model still answers when the router VP dies."""
+    analyzer = RootCauseAnalyzer().fit(mini_dataset)
+    for inst in mini_dataset.instances[:8]:
+        degraded = _degrade(inst, "router_")
+        report = analyzer.diagnose_record(degraded)
+        assert report.severity in ("good", "mild", "severe")
+
+
+def test_diagnosis_with_nan_features(mini_dataset):
+    """NaNs from a broken probe must not crash prediction."""
+    analyzer = RootCauseAnalyzer().fit(mini_dataset)
+    inst = mini_dataset[0]
+    poisoned = dict(inst.features)
+    for key in list(poisoned)[:20]:
+        poisoned[key] = float("nan")
+    report = analyzer.diagnose(poisoned)
+    assert report.severity in ("good", "mild", "severe")
+
+
+def test_cv_with_constant_features():
+    """All-constant columns are harmless (zero-variance guard)."""
+    rng = np.random.default_rng(0)
+    instances = []
+    for i in range(60):
+        label = "good" if i % 2 else "severe"
+        instances.append(Instance(
+            features={
+                "mobile_tcp_constant": 5.0,
+                "mobile_tcp_signal": (0.0 if label == "good" else 1.0)
+                + rng.normal(0, 0.05),
+            },
+            labels={"severity": label, "location": label, "exact": label,
+                    "existence": label},
+        ))
+    ds = Dataset(instances)
+    res = evaluate_cv(ds, "severity", ["mobile"], k=4)
+    assert res.accuracy > 0.9
+
+
+def test_fcbf_all_constant_matrix():
+    X = np.ones((50, 4))
+    y = np.array(["a", "b"] * 25)
+    selected, _su = fcbf(X, y)
+    assert selected == []
+
+
+def test_tree_single_instance_per_class():
+    X = np.array([[0.0], [1.0]])
+    y = np.array(["a", "b"])
+    tree = C45Tree(min_leaf=1).fit(X, y)
+    assert set(tree.predict(X)) <= {"a", "b"}
+
+
+def test_constructor_empty_dataset():
+    fc = FeatureConstructor().fit(Dataset([]))
+    assert fc.nic_max_rates == {}
+    assert fc.transform_features({"mobile_link_rx_rate": 5.0}) == {
+        "mobile_link_rx_rate": 5.0
+    }
+
+
+def test_extreme_feature_magnitudes(mini_dataset):
+    """Values 10 orders of magnitude apart must not break training."""
+    analyzer = RootCauseAnalyzer(vps=("mobile",)).fit(mini_dataset)
+    inst = dict(mini_dataset[0].features)
+    for key in list(inst)[:5]:
+        inst[key] = 1e15
+    report = analyzer.diagnose(inst)
+    assert report.severity in ("good", "mild", "severe")

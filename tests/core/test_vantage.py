@@ -1,0 +1,60 @@
+"""Unit tests for vantage-point scoping."""
+
+import pytest
+
+from repro.core.vantage import (
+    ALL_VPS,
+    combo_name,
+    features_for_vps,
+    layer_of_feature,
+    vp_of_feature,
+)
+
+NAMES = [
+    "mobile_tcp_s2c_rtt_avg",
+    "mobile_hw_cpu_avg",
+    "mobile_radio_rssi_avg",
+    "router_tcp_c2s_rtt_avg",
+    "router_linklan_bridge_busy",
+    "server_hw_cpu_avg",
+    "server_tcp_s2c_data_pkts",
+]
+
+
+def test_vp_of_feature():
+    assert vp_of_feature("mobile_tcp_x") == "mobile"
+    assert vp_of_feature("server_hw_y") == "server"
+    with pytest.raises(ValueError):
+        vp_of_feature("satellite_tcp_x")
+
+
+def test_layer_of_feature():
+    assert layer_of_feature("mobile_tcp_s2c_rtt_avg") == "tcp"
+    assert layer_of_feature("router_linklan_bridge_busy") == "linklan"
+
+
+def test_scoping_single_vp():
+    mobile = features_for_vps(NAMES, ["mobile"])
+    assert all(n.startswith("mobile_") for n in mobile)
+    assert len(mobile) == 3
+
+
+def test_scoping_combination_preserves_order():
+    combo = features_for_vps(NAMES, ["mobile", "server"])
+    assert combo == [n for n in NAMES if not n.startswith("router_")]
+
+
+def test_scoping_all():
+    assert features_for_vps(NAMES, ALL_VPS) == NAMES
+
+
+def test_unknown_vp_rejected():
+    with pytest.raises(ValueError):
+        features_for_vps(NAMES, ["isp"])
+
+
+def test_combo_name():
+    assert combo_name(("mobile",)) == "mobile"
+    assert combo_name(("mobile", "server")) == "mobile+server"
+    assert combo_name(ALL_VPS) == "combined"
+    assert combo_name(("server", "router", "mobile")) == "combined"

@@ -1,0 +1,123 @@
+"""Smoke/contract tests for the experiment drivers on a mini dataset.
+
+The accuracy *values* are exercised by the benchmarks on full-size
+datasets; here we verify that every driver runs, returns the documented
+structure and renders its table.
+"""
+
+import pytest
+
+from repro.experiments.classifiers import run_classifier_comparison
+from repro.experiments.detection import run_detection
+from repro.experiments.exact import feature_ranking_table, run_exact
+from repro.experiments.feature_sets import run_fc_fs_ablation, run_feature_sets
+from repro.experiments.location import run_location
+from repro.experiments.selection_table import run_selection
+from repro.experiments.realworld import run_realworld_detection
+from repro.experiments.wild import (
+    run_server_inference,
+    run_wild_detection,
+    run_wild_rca,
+)
+
+COMBOS = (("mobile",), ("mobile", "router", "server"))
+
+
+def test_detection_driver(mini_dataset):
+    result = run_detection(mini_dataset, combos=COMBOS, k=4)
+    assert set(result.accuracies) == {"mobile", "combined"}
+    assert all(0 <= a <= 1 for a in result.accuracies.values())
+    text = result.to_text()
+    assert "accuracy" in text and "good" in text
+
+
+def test_location_driver(mini_dataset):
+    result = run_location(mini_dataset, combos=COMBOS, k=4)
+    assert "mobile" in result.accuracies
+    assert set(result.lan_rankings) == {"router", "server"}
+    assert "Section 5.2" in result.to_text()
+
+
+def test_exact_driver(mini_dataset):
+    result = run_exact(mini_dataset, combos=COMBOS, k=4, with_feature_table=False)
+    assert result.feature_table == {}
+    assert "Figure 4" in result.to_text()
+
+
+def test_feature_ranking_table(mini_dataset):
+    table = feature_ranking_table(mini_dataset, top_k=2)
+    assert set(table)  # at least one problem type present
+    for per_vp in table.values():
+        assert set(per_vp) == {"mobile", "router", "server", "combined"}
+        for vp, ranked in per_vp.items():
+            assert len(ranked) <= 2
+            scope = vp if vp != "combined" else ""
+            for name, gain in ranked:
+                assert gain >= 0
+                if scope:
+                    assert name.startswith(scope)
+
+
+def test_feature_sets_driver(mini_dataset):
+    result = run_feature_sets(mini_dataset, k=4)
+    acc = result.accuracies
+    assert "fs_fc" in acc and "all" in acc and "delay" in acc
+    series = result.series()
+    assert series[-1][0] == "fs_fc"
+    assert "Figure 5" in result.to_text()
+
+
+def test_fc_fs_ablation_driver(mini_dataset):
+    result = run_fc_fs_ablation(mini_dataset, k=4)
+    assert set(result.accuracies) == {"raw", "fc_only", "fs_only", "fc_fs"}
+
+
+def test_selection_driver(mini_dataset):
+    result = run_selection(mini_dataset)
+    assert result.n_before >= result.n_after >= 0
+    assert isinstance(result.category_counts(), dict)
+    assert "Table 1" in result.to_text()
+
+
+def test_classifier_comparison_driver(mini_dataset):
+    result = run_classifier_comparison(mini_dataset, k=4)
+    assert set(result.accuracies) == {"c45", "nb", "svm"}
+    assert result.winner in result.accuracies
+
+
+def test_realworld_transfer_driver(mini_dataset):
+    result = run_realworld_detection(mini_dataset, mini_dataset, combos=COMBOS)
+    # train == test -> near-perfect: validates the frozen-pipeline plumbing
+    assert result.accuracies["combined"] > 0.85
+    assert "Real-world transfer" in result.to_text()
+
+
+def test_wild_detection_driver(mini_dataset):
+    result = run_wild_detection(mini_dataset, mini_dataset)
+    assert set(result.accuracies) == {"mobile", "server", "mobile+server"}
+    assert "Figure 8" in result.to_text()
+
+
+def test_wild_rca_driver(mini_dataset):
+    result = run_wild_rca(mini_dataset, mini_dataset)
+    assert result.n_sessions == len(mini_dataset)
+    assert "Table 5" in result.to_text()
+    total = sum(sum(row.values()) for row in result.counts.values())
+    assert total == result.n_sessions
+
+
+def test_server_inference_driver(mini_dataset):
+    result = run_server_inference(mini_dataset, mini_dataset)
+    n = len(result.cpu_flagged) + len(result.cpu_unflagged)
+    assert n == len(mini_dataset)
+    assert "Figure 9" in result.to_text()
+
+
+def test_vp_pairs_driver(mini_dataset):
+    from repro.experiments.vp_pairs import run_vp_pairs
+
+    result = run_vp_pairs(mini_dataset, k=4)
+    assert len(result.accuracies) == 7
+    gains = dict(result.pair_gains())
+    assert set(gains) == {"mobile+router", "mobile+server", "router+server"}
+    assert "Section 5.2" in result.to_text()

@@ -1,0 +1,35 @@
+"""Driver tests for the unknown-fault and RNC-extension experiments."""
+
+import pytest
+
+from repro.experiments.rnc import run_rnc_extension
+from repro.experiments.unknown_faults import run_unknown_faults
+from repro.testbed.cellular import run_cellular_campaign
+
+
+@pytest.mark.slow
+def test_unknown_faults_driver(mini_dataset):
+    result = run_unknown_faults(mini_dataset, n_sessions=4, seed=5)
+    assert result.n_sessions == 4
+    assert len(result.sessions) == 4
+    for fault_name, severity, mos, predicted in result.sessions:
+        assert fault_name in ("dns_misconfiguration", "middlebox_interference")
+        assert 1.0 <= mos <= 4.23
+        # predictions stay inside the trained vocabulary
+        assert "dns" not in predicted and "middlebox" not in predicted
+    assert "limitation" in result.to_text()
+
+
+@pytest.mark.slow
+def test_rnc_extension_driver():
+    from repro.core.dataset import Dataset
+
+    records = run_cellular_campaign(n_instances=30, seed=91,
+                                    healthy_fraction=0.4)
+    dataset = Dataset.from_records(records)
+    result = run_rnc_extension(dataset, k=3)
+    assert set(result.accuracies) == {
+        "mobile", "server", "rnc", "mobile+server", "mobile+server+rnc"
+    }
+    assert all(0.0 <= a <= 1.0 for a in result.accuracies.values())
+    assert "RNC vantage point" in result.to_text()

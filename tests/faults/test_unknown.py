@@ -1,0 +1,79 @@
+"""Tests for the unknown-fault injectors (DNS / middlebox)."""
+
+import random
+
+import pytest
+
+from repro.faults.base import FAULT_NAMES
+from repro.faults.unknown import DnsMisconfiguration, MiddleboxInterference
+from repro.testbed.testbed import Testbed, TestbedConfig
+from repro.video.catalog import VideoCatalog
+
+CATALOG = VideoCatalog(size=10, duration_range=(12.0, 16.0), seed=5)
+SD = next(v for v in CATALOG if v.definition == "SD")
+
+
+def rng():
+    return random.Random(0)
+
+
+def test_unknown_faults_are_not_registered():
+    assert "dns_misconfiguration" not in FAULT_NAMES
+    assert "middlebox_interference" not in FAULT_NAMES
+
+
+def test_dns_fault_delays_startup():
+    bed = Testbed(TestbedConfig(seed=81))
+    fault = DnsMisconfiguration("severe", rng())
+    record = bed.run_video_session(SD, fault=fault)
+    bed.shutdown()
+    assert record.app_metrics["startup_delay"] >= fault.intensity["lookup_delay_s"]
+    assert not hasattr(bed, "dns_delay_s") or bed.dns_delay_s == 0.0
+
+
+def test_dns_fault_clear_restores():
+    bed = Testbed(TestbedConfig(seed=82))
+    fault = DnsMisconfiguration("mild", rng())
+    fault.apply(bed)
+    assert bed.dns_delay_s > 0
+    fault.clear(bed)
+    assert bed.dns_delay_s == 0.0
+    bed.shutdown()
+
+
+def test_middlebox_clamps_mss_on_wire():
+    bed = Testbed(TestbedConfig(seed=83))
+    fault = MiddleboxInterference("severe", rng())
+    record = bed.run_video_session(SD, fault=fault)
+    bed.shutdown()
+    clamp = fault.intensity["mss_clamp"]
+    # The server-side tap saw the clamped MSS negotiated back.
+    assert record.features["mobile_tcp_s2c_mss"] <= clamp
+    # SACK stripped: no SACK-bearing ACKs observed at the server.
+    assert record.features["server_tcp_c2s_sack_acks"] == 0.0
+
+
+def test_middlebox_inflates_packet_count():
+    results = {}
+    for use_fault in (False, True):
+        bed = Testbed(TestbedConfig(seed=84))
+        fault = MiddleboxInterference("severe", rng()) if use_fault else None
+        record = bed.run_video_session(SD, fault=fault)
+        bed.shutdown()
+        results[use_fault] = record.features["mobile_tcp_s2c_data_pkts"]
+    assert results[True] > results[False] * 1.5
+
+
+def test_middlebox_clear_removes_transform():
+    bed = Testbed(TestbedConfig(seed=85))
+    fault = MiddleboxInterference("mild", rng())
+    fault.apply(bed)
+    assert bed.router.middlebox is not None
+    fault.clear(bed)
+    assert bed.router.middlebox is None
+    bed.shutdown()
+
+
+def test_locations_defined():
+    assert DnsMisconfiguration("mild", rng()).location == "wan"
+    assert MiddleboxInterference("mild", rng()).location == "lan"

@@ -1,0 +1,64 @@
+"""Unit and property tests for MDL discretisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.discretize import apply_cuts, mdl_discretize
+
+
+def test_clean_two_class_split_found():
+    rng = np.random.default_rng(0)
+    x = np.concatenate([rng.normal(0, 0.3, 200), rng.normal(5, 0.3, 200)])
+    y = np.array([0] * 200 + [1] * 200)
+    cuts = mdl_discretize(x, y)
+    assert len(cuts) >= 1
+    assert 1.0 < cuts[0] < 4.0
+
+
+def test_uninformative_feature_gets_no_cuts():
+    rng = np.random.default_rng(1)
+    x = rng.normal(0, 1, 400)
+    y = rng.integers(0, 2, 400)
+    assert mdl_discretize(x, y) == []
+
+
+def test_three_class_staircase():
+    rng = np.random.default_rng(2)
+    y = np.repeat([0, 1, 2], 150)
+    x = y * 10 + rng.normal(0, 0.5, 450)
+    cuts = mdl_discretize(x, y)
+    assert len(cuts) == 2
+
+
+def test_constant_feature_no_cuts():
+    x = np.ones(100)
+    y = np.array([0, 1] * 50)
+    assert mdl_discretize(x, y) == []
+
+
+def test_tiny_input_no_cuts():
+    assert mdl_discretize(np.array([1.0, 2.0]), np.array([0, 1])) == []
+
+
+def test_apply_cuts_bins():
+    cuts = [1.0, 3.0]
+    bins = apply_cuts(np.array([0.0, 1.0, 2.0, 3.5]), cuts)
+    assert list(bins) == [0, 0, 1, 2]
+
+
+def test_apply_no_cuts_single_bin():
+    bins = apply_cuts(np.array([1.0, 5.0]), [])
+    assert list(bins) == [0, 0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_property_cuts_sorted_and_within_range(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 2, 200)
+    y = (x + rng.normal(0, 1, 200) > 0).astype(int)
+    cuts = mdl_discretize(x, y)
+    assert cuts == sorted(cuts)
+    for cut in cuts:
+        assert x.min() <= cut <= x.max()

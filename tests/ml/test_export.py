@@ -1,0 +1,77 @@
+"""Tests for tree export/persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.export import tree_from_dict, tree_to_dict, tree_to_dot
+from repro.ml.tree import C45Tree
+
+
+def _fitted_tree():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 3, 300)
+    X = rng.normal(0, 0.4, (300, 5))
+    X[:, 1] += y * 2.0
+    return C45Tree().fit(X, np.array(["a", "b", "c"])[y],
+                         feature_names=[f"f{i}" for i in range(5)]), X
+
+
+def test_dot_render_contains_structure():
+    tree, _X = _fitted_tree()
+    dot = tree_to_dot(tree)
+    assert dot.startswith("digraph")
+    assert "f1" in dot
+    assert '"yes"' in dot and '"no"' in dot
+
+
+def test_dot_requires_fit():
+    with pytest.raises(RuntimeError):
+        tree_to_dot(C45Tree())
+
+
+def test_roundtrip_preserves_predictions():
+    tree, X = _fitted_tree()
+    data = tree_to_dict(tree)
+    json.dumps(data)  # must be JSON-safe
+    clone = tree_from_dict(data)
+    assert list(clone.predict(X)) == list(tree.predict(X))
+    assert clone.n_nodes == tree.n_nodes
+    assert clone.feature_names == tree.feature_names
+
+
+def test_roundtrip_preserves_params():
+    tree, _X = _fitted_tree()
+    clone = tree_from_dict(tree_to_dict(tree))
+    assert clone.min_leaf == tree.min_leaf
+    assert clone.cf == tree.cf
+
+
+def test_bad_format_rejected():
+    with pytest.raises(ValueError):
+        tree_from_dict({"format": "something-else"})
+
+
+def test_analyzer_save_load_roundtrip(tmp_path, mini_dataset):
+    from repro.core.diagnosis import RootCauseAnalyzer
+
+    analyzer = RootCauseAnalyzer(vps=("mobile",)).fit(mini_dataset)
+    path = tmp_path / "analyzer.json"
+    analyzer.save(path)
+
+    clone = RootCauseAnalyzer.load(path)
+    assert clone.vps == ("mobile",)
+    for inst in mini_dataset.instances[:10]:
+        original = analyzer.diagnose_record(inst)
+        loaded = clone.diagnose_record(inst)
+        assert loaded.severity == original.severity
+        assert loaded.exact == original.exact
+        assert loaded.location == original.location
+
+
+def test_analyzer_save_requires_fit(tmp_path):
+    from repro.core.diagnosis import RootCauseAnalyzer
+
+    with pytest.raises(RuntimeError):
+        RootCauseAnalyzer().save(tmp_path / "x.json")

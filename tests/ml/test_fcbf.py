@@ -1,0 +1,91 @@
+"""Unit and property tests for symmetrical uncertainty and FCBF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.fcbf import fcbf, symmetrical_uncertainty
+
+
+def test_su_identical_is_one():
+    x = np.array([0, 0, 1, 1, 2, 2])
+    assert symmetrical_uncertainty(x, x) == pytest.approx(1.0)
+
+
+def test_su_independent_near_zero():
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 2, 5000)
+    y = rng.integers(0, 2, 5000)
+    assert symmetrical_uncertainty(x, y) < 0.01
+
+
+def test_su_symmetric():
+    rng = np.random.default_rng(1)
+    x = rng.integers(0, 3, 500)
+    y = (x + rng.integers(0, 2, 500)) % 3
+    assert symmetrical_uncertainty(x, y) == pytest.approx(
+        symmetrical_uncertainty(y, x)
+    )
+
+
+def test_su_constant_feature_zero():
+    x = np.zeros(100, dtype=int)
+    y = np.array([0, 1] * 50)
+    assert symmetrical_uncertainty(x, y) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_property_su_in_unit_interval(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 4, 200)
+    y = rng.integers(0, 3, 200)
+    su = symmetrical_uncertainty(x, y)
+    assert 0.0 <= su <= 1.0
+
+
+def _toy_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    informative = y * 4.0 + rng.normal(0, 0.5, n)
+    redundant = informative * 1.01 + rng.normal(0, 0.05, n)
+    noise = rng.normal(0, 1, n)
+    X = np.column_stack([noise, informative, redundant])
+    return X, y
+
+
+def test_fcbf_selects_informative_drops_redundant_and_noise():
+    X, y = _toy_data()
+    selected, su = fcbf(X, y, feature_names=["noise", "info", "copy"])
+    assert len(selected) == 1
+    assert selected[0] in (1, 2)  # one of the informative pair
+    assert su["info"] > su["noise"]
+
+
+def test_fcbf_keeps_independent_informative_features():
+    rng = np.random.default_rng(3)
+    n = 600
+    a = rng.integers(0, 2, n)
+    b = rng.integers(0, 2, n)
+    y = a * 2 + b  # both needed
+    X = np.column_stack([a + rng.normal(0, 0.05, n), b + rng.normal(0, 0.05, n)])
+    selected, _ = fcbf(X, y)
+    assert sorted(selected) == [0, 1]
+
+
+def test_fcbf_empty_when_nothing_informative():
+    rng = np.random.default_rng(4)
+    X = rng.normal(0, 1, (300, 5))
+    y = rng.integers(0, 2, 300)
+    selected, _ = fcbf(X, y)
+    assert selected == []
+
+
+def test_fcbf_order_is_su_descending():
+    X, y = _toy_data()
+    rng = np.random.default_rng(5)
+    extra = y * 1.0 + rng.normal(0, 2.0, len(y))  # weakly informative
+    X2 = np.column_stack([X, extra])
+    selected, su_map = fcbf(X2, y, feature_names=["n", "i", "c", "weak"])
+    sus = [su_map[["n", "i", "c", "weak"][j]] for j in selected]
+    assert sus == sorted(sus, reverse=True)

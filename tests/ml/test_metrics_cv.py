@@ -1,0 +1,147 @@
+"""Unit tests for metrics, cross-validation and baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.cross_validation import cross_validate, stratified_kfold
+from repro.ml.metrics import ConfusionMatrix
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.ranking import info_gain_ranking, per_label_ranking
+from repro.ml.svm import LinearSVM
+
+
+class TestConfusionMatrix:
+    def make(self):
+        cm = ConfusionMatrix(["a", "b", "c"])
+        cm.update(["a", "a", "b", "b", "c"], ["a", "b", "b", "b", "a"])
+        return cm
+
+    def test_accuracy(self):
+        assert self.make().accuracy == pytest.approx(3 / 5)
+
+    def test_precision_recall(self):
+        cm = self.make()
+        assert cm.precision("a") == pytest.approx(1 / 2)  # predicted a: 2, TP 1
+        assert cm.recall("a") == pytest.approx(1 / 2)
+        assert cm.recall("b") == pytest.approx(1.0)
+        assert cm.precision("c") == 0.0
+        assert cm.recall("c") == 0.0
+
+    def test_f1(self):
+        cm = self.make()
+        assert cm.f1("b") == pytest.approx(2 * (2 / 3) * 1.0 / (2 / 3 + 1.0))
+        assert cm.f1("c") == 0.0
+
+    def test_support(self):
+        cm = self.make()
+        assert cm.support("a") == 2
+        assert cm.support("c") == 1
+
+    def test_unknown_label_rejected(self):
+        cm = ConfusionMatrix(["a"])
+        with pytest.raises(KeyError):
+            cm.update(["x"], ["a"])
+        with pytest.raises(KeyError):
+            cm.update(["a"], ["x"])
+
+    def test_weighted_metrics_match_manual(self):
+        cm = self.make()
+        manual = sum(cm.recall(l) * cm.support(l) for l in cm.labels) / 5
+        assert cm.weighted_recall() == pytest.approx(manual)
+
+    def test_macro_skips_absent_classes(self):
+        cm = ConfusionMatrix(["a", "b"])
+        cm.update(["a", "a"], ["a", "a"])
+        assert cm.macro_recall() == 1.0
+
+    def test_to_text(self):
+        assert "a" in self.make().to_text()
+
+
+class TestStratifiedKFold:
+    def test_partition_covers_everything(self):
+        y = np.array(["x"] * 40 + ["y"] * 24)
+        folds = stratified_kfold(y, k=8, seed=1)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == list(range(64))
+        for train, test in folds:
+            assert set(train) | set(test) == set(range(64))
+            assert set(train) & set(test) == set()
+
+    def test_stratification_balanced(self):
+        y = np.array(["x"] * 50 + ["y"] * 50)
+        for train, test in stratified_kfold(y, k=10, seed=0):
+            labels = y[test]
+            assert (labels == "x").sum() == 5
+            assert (labels == "y").sum() == 5
+
+    def test_rare_class_spread(self):
+        y = np.array(["common"] * 97 + ["rare"] * 3)
+        folds = stratified_kfold(y, k=10, seed=0)
+        rare_in_test = [sum(y[test] == "rare") for _, test in folds]
+        assert max(rare_in_test) == 1
+
+    def test_too_few_instances_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_kfold(np.array(["a", "b"]), k=10)
+
+    def test_deterministic(self):
+        y = np.array(["a", "b"] * 30)
+        f1 = stratified_kfold(y, k=5, seed=7)
+        f2 = stratified_kfold(y, k=5, seed=7)
+        for (tr1, te1), (tr2, te2) in zip(f1, f2):
+            assert list(te1) == list(te2)
+
+
+def _blobs(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    X = rng.normal(0, 0.5, (n, 3))
+    X[:, 0] += y * 3.0
+    return X, np.array(["neg", "pos"])[y]
+
+
+class TestBaselines:
+    def test_nb_separable(self):
+        X, y = _blobs()
+        model = GaussianNB().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_nb_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianNB().predict(np.zeros((1, 3)))
+
+    def test_svm_separable(self):
+        X, y = _blobs()
+        model = LinearSVM(epochs=10).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_svm_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 3)))
+
+    def test_cross_validate_pools_all_instances(self):
+        X, y = _blobs()
+        cm = cross_validate(lambda: GaussianNB(), X, y, k=5)
+        assert cm.total == len(y)
+        assert cm.accuracy > 0.9
+
+
+class TestRanking:
+    def test_info_gain_orders_features(self):
+        X, y = _blobs()
+        ranked = info_gain_ranking(X, y, ["informative", "n1", "n2"])
+        assert ranked[0][0] == "informative"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_per_label_topk(self):
+        X, y = _blobs()
+        table = per_label_ranking(X, y, ["informative", "n1", "n2"], top_k=2)
+        assert len(table["pos"]) == 2
+        assert table["pos"][0][0] == "informative"
+
+    def test_per_label_absent_class(self):
+        X, y = _blobs()
+        table = per_label_ranking(X, y, ["a", "b", "c"], positive_labels=["ghost"])
+        assert table["ghost"] == []

@@ -1,0 +1,91 @@
+"""Tests for decision paths and rule extraction."""
+
+import numpy as np
+import pytest
+
+from repro.ml.rules import (
+    decision_path,
+    explain_prediction,
+    extract_rules,
+    render_rule,
+)
+from repro.ml.tree import C45Tree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, 400)
+    X = rng.normal(0, 0.4, (400, 3))
+    X[:, 0] += y * 3.0
+    return C45Tree().fit(X, np.array(["neg", "pos"])[y],
+                         feature_names=["signal", "n1", "n2"]), X, y
+
+
+def test_decision_path_consistent_with_prediction(tree):
+    model, X, _y = tree
+    for row in X[:20]:
+        path = decision_path(model, row)
+        assert path, "non-trivial tree must test something"
+        for cond in path:
+            if cond.satisfied_leq:
+                assert cond.value <= cond.threshold
+            else:
+                assert cond.value > cond.threshold
+
+
+def test_decision_path_requires_fit():
+    with pytest.raises(RuntimeError):
+        decision_path(C45Tree(), [0.0])
+
+
+def test_explain_prediction_from_dict(tree):
+    model, X, _y = tree
+    label, path = explain_prediction(model, {"signal": 5.0, "n1": 0, "n2": 0})
+    assert label == "pos"
+    assert any(c.feature == "signal" for c in path)
+
+
+def test_rules_partition_training_space(tree):
+    model, X, _y = tree
+    rules = extract_rules(model)
+    assert sum(r.support for r in rules) == len(X)
+    for r in rules:
+        assert 0.0 <= r.confidence <= 1.0
+        assert r.prediction in ("neg", "pos")
+
+
+def test_rules_sorted_by_confidence(tree):
+    model, _X, _y = tree
+    rules = extract_rules(model)
+    confs = [r.confidence for r in rules]
+    assert confs == sorted(confs, reverse=True)
+
+
+def test_exactly_one_rule_matches_any_sample(tree):
+    model, X, _y = tree
+    rules = extract_rules(model)
+    names = ["signal", "n1", "n2"]
+    for row in X[:25]:
+        features = dict(zip(names, row))
+        matching = [r for r in rules if r.matches(features)]
+        assert len(matching) == 1
+        assert matching[0].prediction == str(model.predict_one(row))
+
+
+def test_render_rule(tree):
+    model, _X, _y = tree
+    text = render_rule(extract_rules(model)[0])
+    assert text.startswith("IF ") and " THEN " in text
+
+
+def test_analyzer_explain(mini_dataset):
+    from repro.core.diagnosis import RootCauseAnalyzer
+
+    analyzer = RootCauseAnalyzer(vps=("mobile",)).fit(mini_dataset)
+    inst = mini_dataset[0]
+    label, path = analyzer.explain(inst.features,
+                                   session_s=inst.meta.get("session_s"))
+    assert label == analyzer.diagnose_record(inst).exact
+    for cond in path:
+        assert cond.feature.startswith("mobile_")

@@ -1,0 +1,135 @@
+"""Unit and property tests for the C4.5 tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.tree import C45Tree, _upper_error
+
+
+def _blobs(n=300, seed=0, noise=0.3):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 3, n)
+    X = rng.normal(0, noise, (n, 4))
+    X[:, 0] += y * 2.0
+    X[:, 2] -= y * 1.5
+    return X, np.array(["a", "b", "c"])[y]
+
+
+def test_fits_separable_data_perfectly():
+    X, y = _blobs(noise=0.05)
+    tree = C45Tree().fit(X, y)
+    assert (tree.predict(X) == y).mean() > 0.99
+
+
+def test_generalises_to_held_out():
+    X, y = _blobs(seed=1)
+    Xt, yt = _blobs(seed=2)
+    tree = C45Tree().fit(X, y)
+    assert (tree.predict(Xt) == yt).mean() > 0.85
+
+
+def test_labels_restored_as_strings():
+    X, y = _blobs()
+    tree = C45Tree().fit(X, y)
+    assert set(tree.predict(X)) <= {"a", "b", "c"}
+
+
+def test_single_class_becomes_single_leaf():
+    X = np.random.default_rng(0).normal(0, 1, (50, 3))
+    y = np.array(["only"] * 50)
+    tree = C45Tree().fit(X, y)
+    assert tree.n_nodes == 1
+    assert all(tree.predict(X) == "only")
+
+
+def test_min_leaf_respected():
+    X, y = _blobs(n=200)
+    tree = C45Tree(min_leaf=30).fit(X, y)
+
+    def check(node):
+        if node is None:
+            return
+        assert node.n >= 30 or node.is_leaf
+        if not node.is_leaf:
+            check(node.left)
+            check(node.right)
+
+    check(tree.root)
+
+
+def test_max_depth_cap():
+    X, y = _blobs(n=400, noise=1.5)
+    tree = C45Tree(max_depth=2).fit(X, y)
+    assert tree.depth <= 2
+
+
+def test_pruning_shrinks_noisy_tree():
+    X, y = _blobs(n=400, seed=3, noise=1.8)  # heavily overlapping classes
+    pruned = C45Tree(cf=0.25, prune=True).fit(X, y)
+    unpruned = C45Tree(cf=0.25, prune=False).fit(X, y)
+    assert pruned.n_nodes < unpruned.n_nodes
+
+
+def test_importance_credits_informative_features_only():
+    X, y = _blobs()
+    tree = C45Tree().fit(X, y, feature_names=["f0", "f1", "f2", "f3"])
+    imp = tree.feature_importance()
+    # f0/f2 carry the signal (either suffices); f1/f3 are pure noise.
+    assert imp.get("f0", 0) + imp.get("f2", 0) > 0.9
+    assert imp.get("f1", 0) < 0.1
+    assert imp.get("f3", 0) < 0.1
+
+
+def test_to_text_renders():
+    X, y = _blobs()
+    tree = C45Tree().fit(X, y, feature_names=["f0", "f1", "f2", "f3"])
+    text = tree.to_text()
+    assert "f0" in text or "f2" in text
+    assert "->" in text
+
+
+def test_predict_before_fit_rejected():
+    with pytest.raises(RuntimeError):
+        C45Tree().predict(np.zeros((1, 3)))
+
+
+def test_invalid_min_leaf():
+    with pytest.raises(ValueError):
+        C45Tree(min_leaf=0)
+
+
+def test_one_dimensional_x_rejected():
+    with pytest.raises(ValueError):
+        C45Tree().fit(np.zeros(10), np.zeros(10))
+
+
+def test_upper_error_monotone_in_errors():
+    assert _upper_error(100, 0, 0.674) < _upper_error(100, 10, 0.674)
+    assert _upper_error(100, 10, 0.674) < _upper_error(100, 50, 0.674)
+
+
+def test_upper_error_bounds():
+    assert _upper_error(0, 0, 0.674) == 0.0
+    assert 0.0 < _upper_error(50, 0, 0.674) < 0.1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_property_predictions_are_known_classes(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (80, 3))
+    y = rng.integers(0, 3, 80).astype(str)
+    tree = C45Tree().fit(X, y)
+    Xt = rng.normal(0, 3, (40, 3))
+    assert set(tree.predict(Xt)) <= set(np.unique(y))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=100))
+def test_property_training_beats_majority_when_separable(seed):
+    X, y = _blobs(seed=seed, noise=0.2)
+    tree = C45Tree().fit(X, y)
+    accuracy = (tree.predict(X) == y).mean()
+    majority = max(np.bincount(np.unique(y, return_inverse=True)[1])) / len(y)
+    assert accuracy >= majority

@@ -1,0 +1,117 @@
+"""Unit tests for hardware, radio and link probes."""
+
+import pytest
+
+from repro.probes.hardware import HardwareProbe
+from repro.probes.link import LinkProbe
+from repro.probes.radio import RadioProbe
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.simnet.packet import Packet, UDP
+from repro.simnet.wireless import WifiMedium
+
+
+class TestHardwareProbe:
+    def test_aggregates_over_window(self):
+        sim = Simulator(seed=0)
+        values = iter([0.2, 0.4, 0.6, 0.8] * 10)
+        probe = HardwareProbe(sim, lambda: next(values), lambda: 0.5, noise_std=0.0)
+        probe.start()
+        sim.run(until=3.5)  # samples at 0,1,2,3
+        m = probe.stop()
+        assert m["cpu_avg"] == pytest.approx(0.5, abs=0.01)
+        assert m["cpu_min"] == pytest.approx(0.2, abs=0.01)
+        assert m["cpu_max"] == pytest.approx(0.8, abs=0.01)
+        assert m["mem_free_avg"] == pytest.approx(0.5, abs=0.01)
+
+    def test_values_clamped(self):
+        sim = Simulator(seed=0)
+        probe = HardwareProbe(sim, lambda: 5.0, lambda: -5.0, noise_std=0.0)
+        probe.start()
+        sim.run(until=2.0)
+        m = probe.stop()
+        assert m["cpu_max"] <= 1.0
+        assert m["mem_free_min"] >= 0.0
+
+    def test_stop_cancels_sampling(self):
+        sim = Simulator(seed=0)
+        calls = []
+        probe = HardwareProbe(sim, lambda: calls.append(1) or 0.5, lambda: 0.5)
+        probe.start()
+        sim.run(until=2.0)
+        probe.stop()
+        n = len(calls)
+        sim.run(until=10.0)
+        assert len(calls) == n
+
+    def test_double_start_rejected(self):
+        sim = Simulator(seed=0)
+        probe = HardwareProbe(sim, lambda: 0.5, lambda: 0.5)
+        probe.start()
+        with pytest.raises(RuntimeError):
+            probe.start()
+
+    def test_empty_window_is_zeroes(self):
+        sim = Simulator(seed=0)
+        probe = HardwareProbe(sim, lambda: 0.5, lambda: 0.5)
+        probe.start()
+        m = probe.stop()  # stopped before the first scheduled sample ran
+        assert m["cpu_std"] == 0.0
+
+
+class TestRadioProbe:
+    def build(self):
+        sim = Simulator(seed=1)
+        host = Host(sim, "phone")
+        ap_host = Host(sim, "ap")
+        medium = WifiMedium(sim)
+        medium.add_station("ap", ap_host.add_interface("wlan0"), is_ap=True)
+        st = medium.add_station("phone", host.add_interface("wlan0"),
+                                base_rssi=-60.0)
+        return sim, st
+
+    def test_rssi_sampling(self):
+        sim, st = self.build()
+        probe = RadioProbe(sim, st, noise_std=0.0)
+        probe.start()
+        sim.run(until=10.0)
+        m = probe.stop()
+        assert m["rssi_avg"] == pytest.approx(-60.0, abs=3.0)
+        assert m["phy_rate_avg"] == 0.0  # no frames sent
+
+    def test_counter_deltas_only(self):
+        sim, st = self.build()
+        st.retries = 100
+        probe = RadioProbe(sim, st)
+        probe.start()
+        sim.run(until=2.0)
+        st.retries = 104
+        m = probe.stop()
+        assert m["retries"] == 4
+
+
+class TestLinkProbe:
+    def test_rate_and_counters(self):
+        sim = Simulator(seed=0)
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        wire(sim, a, "eth0", b, "eth0",
+             Channel(sim, "f", 1e9, queue_limit_bytes=10**9),
+             Channel(sim, "b", 1e9, queue_limit_bytes=10**9))
+        a.set_default_route(a.interfaces["eth0"])
+        b.bind(UDP, 9, lambda p: None)
+        probe = LinkProbe(sim, a.interfaces["eth0"])
+        probe.start()
+        payload = 1000
+        n = 100
+        for i in range(n):
+            sim.schedule(i * 0.01, a.send, Packet(
+                src="a", dst="b", sport=1, dport=9, proto=UDP,
+                payload_len=payload))
+        sim.run(until=1.0)
+        m = probe.stop()
+        assert m["tx_pkts"] == n
+        assert m["tx_bytes"] == n * (payload + 28)
+        assert m["tx_rate"] == pytest.approx(n * (payload + 28) * 8, rel=0.05)
+        assert m["rx_pkts"] == 0

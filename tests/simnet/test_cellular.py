@@ -1,0 +1,153 @@
+"""Unit tests for the cellular access model."""
+
+import pytest
+
+from repro.simnet.cellular import (
+    CQI_TABLE,
+    CellularCell,
+    HANDOVER_RSCP,
+    block_error_prob,
+    cqi_for_rscp,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.node import Host
+from repro.simnet.packet import Packet, UDP
+
+
+def build(rscp=-80.0, load=0.0, seed=0):
+    sim = Simulator(seed=seed)
+    rnc = Host(sim, "rnc")
+    phone = Host(sim, "phone")
+    cell = CellularCell(sim, background_load=load)
+    cell.attach_rnc(rnc.add_interface("cell0"))
+    ue = cell.add_ue("phone", phone.add_interface("cell0"), base_rscp=rscp)
+    ue.shadow_sigma = 0.0
+    rnc.add_route("phone", rnc.interfaces["cell0"])
+    phone.set_default_route(phone.interfaces["cell0"])
+    return sim, rnc, phone, cell, ue
+
+
+def make_pkt(src, dst, payload=1200):
+    return Packet(src=src, dst=dst, sport=1, dport=9, proto=UDP,
+                  payload_len=payload)
+
+
+def test_cqi_mapping_monotone():
+    shares = [cqi_for_rscp(r)[1] for r in range(-120, -70, 5)]
+    assert shares == sorted(shares)
+    assert cqi_for_rscp(-75.0)[1] == CQI_TABLE[-1][2]
+
+
+def test_bler_increases_as_signal_fades():
+    assert block_error_prob(-80.0) < block_error_prob(-105.0) < block_error_prob(-115.0)
+
+
+def test_downlink_delivery():
+    sim, rnc, phone, cell, ue = build()
+    got = []
+    phone.bind(UDP, 9, got.append)
+    for _ in range(50):
+        rnc.send(make_pkt("rnc", "phone"))
+    sim.run(until=10.0)
+    assert len(got) == 50
+    assert ue.pdus_tx == 50
+
+
+def test_uplink_delivery():
+    sim, rnc, phone, cell, ue = build()
+    got = []
+    rnc.bind(UDP, 9, got.append)
+    for _ in range(20):
+        phone.send(make_pkt("phone", "rnc"))
+    sim.run(until=5.0)
+    assert len(got) == 20
+
+
+def test_weak_signal_slows_downlink():
+    done = {}
+    for rscp in (-80.0, -107.0):
+        sim, rnc, phone, cell, ue = build(rscp=rscp, seed=3)
+        times = []
+        phone.bind(UDP, 9, lambda p: times.append(sim.now))
+        for _ in range(100):
+            rnc.send(make_pkt("rnc", "phone"))
+        sim.run(until=60.0)
+        done[rscp] = times[-1]
+    assert done[-107.0] > done[-80.0] * 2
+
+
+def test_cell_load_squeezes_rate():
+    sim, rnc, phone, cell, ue = build(load=0.0)
+    fast = ue.current_rate(0.0)
+    cell.set_background_load(0.9)
+    slow = ue.current_rate(0.0)
+    assert slow < fast / 3
+
+
+def test_handover_on_signal_collapse():
+    sim, rnc, phone, cell, ue = build(rscp=HANDOVER_RSCP - 5.0, seed=4)
+    got = []
+    phone.bind(UDP, 9, got.append)
+    rnc.send(make_pkt("rnc", "phone"))
+    sim.run(until=10.0)
+    assert ue.handovers >= 1
+    # After the handover the new cell serves the queued packet.
+    assert len(got) == 1
+    assert ue.base_rscp > HANDOVER_RSCP
+
+
+def test_queue_limit():
+    sim, rnc, phone, cell, ue = build(rscp=-107.0)
+    ue.queue_limit_bytes = 4000
+    accepted = [cell.send_downlink(ue, make_pkt("rnc", "phone")) for _ in range(20)]
+    assert accepted.count(False) > 0
+    assert ue.queue_drops == accepted.count(False)
+
+
+def test_duplicate_ue_rejected():
+    sim, rnc, phone, cell, ue = build()
+    with pytest.raises(ValueError):
+        cell.add_ue("phone", phone.interfaces["cell0"])
+
+
+def test_uplink_requires_rnc():
+    sim = Simulator()
+    cell = CellularCell(sim)
+    phone = Host(sim, "phone")
+    ue = cell.add_ue("phone", phone.add_interface("cell0"))
+    with pytest.raises(RuntimeError):
+        cell.send_uplink(ue, make_pkt("phone", "rnc"))
+
+
+def test_tcp_over_cellular():
+    """End-to-end TCP across cell + core works and delivers exactly."""
+    from repro.simnet.link import Channel
+    from repro.simnet.node import Router, wire
+    from repro.simnet.tcp import TcpServer, open_connection
+
+    sim = Simulator(seed=5)
+    server = Host(sim, "server")
+    rnc = Router(sim, "rnc")
+    phone = Host(sim, "phone")
+    wire(sim, server, "eth0", rnc, "wan0",
+         Channel(sim, "d", 30e6, delay=0.02), Channel(sim, "u", 30e6, delay=0.02))
+    cell = CellularCell(sim)
+    cell.attach_rnc(rnc.add_interface("cell0"))
+    cell.add_ue("phone", phone.add_interface("cell0"), base_rscp=-85.0)
+    server.set_default_route(server.interfaces["eth0"])
+    rnc.add_route("server", rnc.interfaces["wan0"])
+    rnc.add_route("phone", rnc.interfaces["cell0"])
+    phone.set_default_route(phone.interfaces["cell0"])
+
+    state = {"got": 0}
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(400_000), ep.close())
+
+    TcpServer(sim, server, 80, on_conn)
+    client = open_connection(sim, phone, "server", 80)
+    client.on_established = lambda: client.send(300)
+    client.on_data = lambda n, t: state.__setitem__("got", state["got"] + n)
+    client.connect()
+    sim.run(until=120.0)
+    assert state["got"] == 400_000

@@ -1,0 +1,82 @@
+"""Unit tests for the congestion-control modules."""
+
+import pytest
+
+from repro.simnet.congestion import CubicControl, RenoControl, make_control
+from repro.simnet.engine import Simulator
+
+
+class FakeEndpoint:
+    def __init__(self, cwnd=14600, mss=1460, srtt=0.05):
+        self.sim = Simulator()
+        self.cwnd = cwnd
+        self.mss = mss
+        self.srtt = srtt
+        self.flight_size = cwnd
+
+    def pipe_size(self):
+        return self.flight_size
+
+
+def test_factory():
+    assert isinstance(make_control("reno"), RenoControl)
+    assert isinstance(make_control("cubic"), CubicControl)
+    with pytest.raises(ValueError):
+        make_control("bbr")
+
+
+def test_reno_halves_on_loss():
+    ep = FakeEndpoint(cwnd=20000)
+    cc = RenoControl()
+    assert cc.on_loss(ep) == 10000
+
+
+def test_reno_loss_floor_two_mss():
+    ep = FakeEndpoint(cwnd=1000, mss=1460)
+    ep.flight_size = 1000
+    cc = RenoControl()
+    assert cc.on_loss(ep) == 2 * 1460
+
+
+def test_reno_linear_growth():
+    ep = FakeEndpoint(cwnd=14600)
+    cc = RenoControl()
+    before = ep.cwnd
+    for _ in range(10):  # one cwnd's worth of ACKs
+        cc.on_ack(ep, 1460)
+    assert ep.cwnd == pytest.approx(before + 1460, rel=0.05)
+
+
+def test_cubic_backoff_factor():
+    ep = FakeEndpoint(cwnd=100_000)
+    cc = CubicControl()
+    assert cc.on_loss(ep) == int(100_000 * 0.7)
+
+
+def test_cubic_grows_toward_wmax():
+    ep = FakeEndpoint(cwnd=100_000)
+    cc = CubicControl()
+    ep.cwnd = cc.on_loss(ep)
+    # Simulate 2 seconds of ACK clocking.
+    for _ in range(200):
+        ep.sim.run(until=ep.sim.now + 0.01)
+        cc.on_ack(ep, 1460)
+    assert ep.cwnd > 90_000  # recovered close to the previous maximum
+
+
+def test_cubic_fast_convergence_lowers_wmax():
+    ep = FakeEndpoint(cwnd=100_000)
+    cc = CubicControl()
+    cc.on_loss(ep)
+    first_wmax = cc.w_max
+    ep.cwnd = 50_000  # second loss before regaining the peak
+    cc.on_loss(ep)
+    assert cc.w_max < first_wmax
+
+
+def test_cubic_timeout_resets_epoch():
+    ep = FakeEndpoint(cwnd=50_000)
+    cc = CubicControl()
+    ssthresh = cc.on_timeout(ep)
+    assert ssthresh == int(50_000 * 0.7)
+    assert cc.epoch_start is None

@@ -1,0 +1,113 @@
+"""Cross-component physics tests: flows sharing links behave plausibly."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, Router, wire
+from repro.simnet.tcp import TcpServer, open_connection
+from repro.simnet.udp import UdpSender, UdpSink
+
+
+def build_shared_link(rate=5e6, seed=0):
+    sim = Simulator(seed=seed)
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    wire(sim, a, "eth0", b, "eth0",
+         Channel(sim, "f", rate, delay=0.02),
+         Channel(sim, "b", rate, delay=0.02))
+    a.set_default_route(a.interfaces["eth0"])
+    b.set_default_route(b.interfaces["eth0"])
+    return sim, a, b
+
+
+def start_transfer(sim, client, server_node, port, size):
+    state = {"got": 0, "t": None}
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(size), ep.close())
+
+    TcpServer(sim, server_node, port, on_conn)
+    cl = open_connection(sim, client, server_node.name, port)
+    cl.on_established = lambda: cl.send(300)
+
+    def on_data(n, t):
+        state["got"] += n
+        state["t"] = t
+
+    cl.on_data = on_data
+    cl.connect()
+    return state
+
+
+def test_two_tcp_flows_share_roughly_fairly():
+    sim, a, b = build_shared_link(rate=5e6, seed=1)
+    s1 = start_transfer(sim, a, b, 80, 4_000_000)
+    s2 = start_transfer(sim, a, b, 81, 4_000_000)
+    sim.run(until=12.0)
+    got1, got2 = s1["got"], s2["got"]
+    assert got1 > 0 and got2 > 0
+    ratio = max(got1, got2) / max(1, min(got1, got2))
+    assert ratio < 3.0  # long-term share within 3x
+
+
+def test_udp_blast_starves_tcp():
+    clean = build_shared_link(rate=5e6, seed=2)
+    sim, a, b = clean
+    state = start_transfer(sim, a, b, 80, 2_000_000)
+    sim.run(until=20.0)
+    clean_bytes = state["got"]
+
+    sim, a, b = build_shared_link(rate=5e6, seed=2)
+    sink = UdpSink(a, 5001)
+    blast = UdpSender(sim, b, "a", 5001, rate_bps=6e6, payload=1200)
+    blast.start()
+    state = start_transfer(sim, a, b, 80, 2_000_000)
+    sim.run(until=20.0)
+    congested_bytes = state["got"]
+    assert congested_bytes < clean_bytes / 2
+
+
+def test_router_chain_end_to_end_tcp():
+    """TCP across two routers (three links) delivers exactly."""
+    sim = Simulator(seed=3)
+    a = Host(sim, "a")
+    r1 = Router(sim, "r1")
+    r2 = Router(sim, "r2")
+    b = Host(sim, "b")
+    wire(sim, a, "e0", r1, "e0", Channel(sim, "1f", 1e7, delay=0.005),
+         Channel(sim, "1b", 1e7, delay=0.005))
+    wire(sim, r1, "e1", r2, "e0", Channel(sim, "2f", 1e7, delay=0.01),
+         Channel(sim, "2b", 1e7, delay=0.01))
+    wire(sim, r2, "e1", b, "e0", Channel(sim, "3f", 1e7, delay=0.005),
+         Channel(sim, "3b", 1e7, delay=0.005))
+    a.set_default_route(a.interfaces["e0"])
+    b.set_default_route(b.interfaces["e0"])
+    r1.add_route("a", r1.interfaces["e0"])
+    r1.add_route("b", r1.interfaces["e1"])
+    r1.set_default_route(r1.interfaces["e1"])
+    r2.add_route("b", r2.interfaces["e1"])
+    r2.add_route("a", r2.interfaces["e0"])
+    r2.set_default_route(r2.interfaces["e0"])
+
+    state = start_transfer(sim, a, b, 80, 1_000_000)
+    sim.run(until=30.0)
+    assert state["got"] == 1_000_000
+
+
+def test_slow_uplink_limits_download_via_acks():
+    """Ack-path starvation (ADSL-style) caps downstream throughput."""
+    results = {}
+    for up_rate in (1e6, 6e3):
+        sim = Simulator(seed=4)
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        wire(sim, a, "eth0", b, "eth0",
+             Channel(sim, "up", up_rate, delay=0.02),
+             Channel(sim, "down", 20e6, delay=0.02))
+        a.set_default_route(a.interfaces["eth0"])
+        b.set_default_route(b.interfaces["eth0"])
+        state = start_transfer(sim, a, b, 80, 3_000_000)
+        sim.run(until=20.0)
+        results[up_rate] = state["got"]
+    assert results[6e3] < results[1e6] / 2

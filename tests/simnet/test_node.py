@@ -1,0 +1,161 @@
+"""Unit tests for nodes, interfaces, taps and the router bridge."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, Router, Tap, wire
+from repro.simnet.packet import Packet, UDP
+
+
+def build_pair(seed=0, router=False):
+    sim = Simulator(seed=seed)
+    a = Host(sim, "a")
+    b = Router(sim, "b") if router else Host(sim, "b")
+    fwd = Channel(sim, "fwd", rate_bps=1e8)
+    bwd = Channel(sim, "bwd", rate_bps=1e8)
+    wire(sim, a, "eth0", b, "eth0", fwd, bwd)
+    a.set_default_route(a.interfaces["eth0"])
+    b.set_default_route(b.interfaces["eth0"])
+    return sim, a, b
+
+
+def make_pkt(src, dst, dport=9):
+    return Packet(src=src, dst=dst, sport=1000, dport=dport, proto=UDP, payload_len=10)
+
+
+def test_local_delivery_to_bound_handler():
+    sim, a, b = build_pair()
+    got = []
+    b.bind(UDP, 9, got.append)
+    a.send(make_pkt("a", "b"))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_unbound_port_discards_silently():
+    sim, a, b = build_pair()
+    a.send(make_pkt("a", "b", dport=12345))
+    sim.run()  # no exception
+
+
+def test_specific_binding_beats_wildcard():
+    sim, a, b = build_pair()
+    hits = []
+    b.bind(UDP, 9, lambda p: hits.append("wild"))
+    b.bind(UDP, 9, lambda p: hits.append("exact"), peer="a", peer_port=1000)
+    a.send(make_pkt("a", "b"))
+    sim.run()
+    assert hits == ["exact"]
+
+
+def test_duplicate_bind_rejected():
+    sim, a, b = build_pair()
+    b.bind(UDP, 9, lambda p: None)
+    with pytest.raises(ValueError):
+        b.bind(UDP, 9, lambda p: None)
+
+
+def test_unbind_allows_rebinding():
+    sim, a, b = build_pair()
+    b.bind(UDP, 9, lambda p: None)
+    b.unbind(UDP, 9)
+    b.bind(UDP, 9, lambda p: None)
+
+
+def test_ephemeral_ports_unique():
+    sim, a, b = build_pair()
+    ports = set()
+    for _ in range(50):
+        port = a.ephemeral_port()
+        a.bind(UDP, port, lambda p: None)
+        ports.add(port)
+    assert len(ports) == 50
+    assert all(32768 <= p <= 60999 for p in ports)
+
+
+def test_router_forwards_between_interfaces():
+    sim = Simulator()
+    a = Host(sim, "a")
+    r = Router(sim, "r")
+    c = Host(sim, "c")
+    wire(sim, a, "eth0", r, "p1", Channel(sim, "1f", 1e8), Channel(sim, "1b", 1e8))
+    wire(sim, r, "p2", c, "eth0", Channel(sim, "2f", 1e8), Channel(sim, "2b", 1e8))
+    a.set_default_route(a.interfaces["eth0"])
+    c.set_default_route(c.interfaces["eth0"])
+    r.add_route("a", r.interfaces["p1"])
+    r.add_route("c", r.interfaces["p2"])
+    got = []
+    c.bind(UDP, 9, got.append)
+    a.send(make_pkt("a", "c"))
+    sim.run()
+    assert len(got) == 1
+    assert r.pkts_forwarded == 1
+
+
+def test_router_bridge_caps_throughput():
+    """A slow bridge serialises transit traffic (LAN-shaping fault path)."""
+    sim = Simulator()
+    a = Host(sim, "a")
+    r = Router(sim, "r", bridge_rate_bps=8e3)  # 1 kB/s
+    c = Host(sim, "c")
+    wire(sim, a, "eth0", r, "p1", Channel(sim, "1f", 1e8), Channel(sim, "1b", 1e8))
+    wire(sim, r, "p2", c, "eth0", Channel(sim, "2f", 1e8), Channel(sim, "2b", 1e8))
+    a.set_default_route(a.interfaces["eth0"])
+    r.add_route("c", r.interfaces["p2"])
+    times = []
+    c.bind(UDP, 9, lambda p: times.append(sim.now))
+    for _ in range(3):
+        a.send(Packet(src="a", dst="c", sport=1, dport=9, proto=UDP, payload_len=972))
+    sim.run()
+    assert len(times) == 3
+    # ~1s of bridge serialization per 1000B packet
+    assert times[1] - times[0] == pytest.approx(1.0, rel=0.05)
+
+
+def test_ttl_expiry_drops_packet():
+    sim, a, b = build_pair(router=True)
+    got = []
+    b.bind(UDP, 9, got.append)
+    pkt = make_pkt("a", "nonexistent")
+    pkt.ttl = 1
+    a.send(pkt)
+    sim.run()
+    assert got == []
+
+
+def test_no_route_counted():
+    sim = Simulator()
+    a = Host(sim, "a")
+    assert a.send(make_pkt("a", "b")) is False
+    assert a.pkts_no_route == 1
+
+
+def test_taps_see_both_directions():
+    sim, a, b = build_pair()
+    seen = []
+    a.interfaces["eth0"].add_tap(Tap(lambda p, d, t: seen.append(d)))
+    b.bind(UDP, 9, lambda p: b.send(make_pkt("b", "a", dport=7)))
+    a.bind(UDP, 7, lambda p: None)
+    a.send(make_pkt("a", "b"))
+    sim.run()
+    assert seen == ["tx", "rx"]
+
+
+def test_interface_counters():
+    sim, a, b = build_pair()
+    b.bind(UDP, 9, lambda p: None)
+    pkt = make_pkt("a", "b")
+    a.send(pkt)
+    sim.run()
+    assert a.interfaces["eth0"].tx_pkts == 1
+    assert a.interfaces["eth0"].tx_bytes == pkt.size
+    assert b.interfaces["eth0"].rx_pkts == 1
+
+
+def test_duplicate_interface_rejected():
+    sim = Simulator()
+    node = Host(sim, "x")
+    node.add_interface("eth0")
+    with pytest.raises(ValueError):
+        node.add_interface("eth0")

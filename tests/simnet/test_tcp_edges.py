@@ -1,0 +1,117 @@
+"""TCP edge cases: zero-length responses, window recovery, port reuse."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.simnet.tcp import TcpServer, open_connection
+
+
+def build(seed=0, rate=10e6, delay=0.01):
+    sim = Simulator(seed=seed)
+    a = Host(sim, "client")
+    b = Host(sim, "server")
+    wire(sim, a, "eth0", b, "eth0",
+         Channel(sim, "up", rate, delay=delay),
+         Channel(sim, "down", rate, delay=delay))
+    a.set_default_route(a.interfaces["eth0"])
+    b.set_default_route(b.interfaces["eth0"])
+    return sim, a, b
+
+
+def test_zero_byte_response_closes_cleanly():
+    sim, a, b = build()
+    closed = []
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: ep.close()  # no payload at all
+
+    TcpServer(sim, b, 80, on_conn)
+    client = open_connection(sim, a, "server", 80)
+    client.on_established = lambda: client.send(100)
+    client.on_data = lambda n, t: None
+    client.on_close = lambda: closed.append(True)
+    client.connect()
+    sim.run(until=10.0)
+    assert closed == [True]
+
+
+def test_send_zero_bytes_is_noop():
+    sim, a, b = build()
+    client = open_connection(sim, a, "server", 80)
+    client.send(0)  # before establishment, just queues nothing
+    assert client._send_buffer == 0
+
+
+def test_rwnd_zero_then_reopened():
+    """Shrinking the advertised window to minimum stalls, growing resumes."""
+    sim, a, b = build(rate=50e6, delay=0.02)
+    state = {"got": 0}
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(2_000_000), ep.close())
+
+    TcpServer(sim, b, 80, on_conn)
+    client = open_connection(sim, a, "server", 80, recv_capacity=8 * 1024)
+    client.on_established = lambda: client.send(200)
+    client.on_data = lambda n, t: state.__setitem__("got", state["got"] + n)
+    client.connect()
+    sim.run(until=3.0)
+    throttled = state["got"]
+    client.set_recv_capacity(512 * 1024)
+    sim.run(until=20.0)
+    assert state["got"] == 2_000_000
+    assert throttled < 2_000_000  # it really was held back initially
+
+
+def test_sequential_connections_same_nodes():
+    sim, a, b = build()
+    totals = []
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(50_000), ep.close())
+
+    TcpServer(sim, b, 80, on_conn)
+    for round_index in range(3):
+        got = {"n": 0}
+        client = open_connection(sim, a, "server", 80)
+        client.on_established = lambda c=client: c.send(100)
+        client.on_data = lambda n, t, g=got: g.__setitem__("n", g["n"] + n)
+        client.connect()
+        sim.run(until=sim.now + 20.0)
+        totals.append(got["n"])
+    assert totals == [50_000, 50_000, 50_000]
+
+
+def test_concurrent_connections_one_server():
+    sim, a, b = build(rate=50e6)
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(100_000), ep.close())
+
+    TcpServer(sim, b, 80, on_conn)
+    states = []
+    for _ in range(5):
+        got = {"n": 0}
+        client = open_connection(sim, a, "server", 80)
+        client.on_established = (lambda c: lambda: c.send(100))(client)
+        client.on_data = (lambda g: lambda n, t: g.__setitem__("n", g["n"] + n))(got)
+        client.connect()
+        states.append(got)
+    sim.run(until=30.0)
+    assert all(s["n"] == 100_000 for s in states)
+
+
+def test_close_twice_is_idempotent():
+    sim, a, b = build()
+    client = open_connection(sim, a, "server", 80)
+    client.close()
+    client.close()  # no error
+
+
+def test_abort_before_connect():
+    sim, a, b = build()
+    client = open_connection(sim, a, "server", 80)
+    client.abort()
+    assert client.closed

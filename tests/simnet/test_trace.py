@@ -1,0 +1,86 @@
+"""Tests for packet traces and offline probe analysis."""
+
+import pytest
+
+from repro.probes.tstat import TstatProbe
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.simnet.tcp import TcpServer, open_connection
+from repro.simnet.trace import PacketTrace, TraceRecorder
+
+
+def run_capture(loss=0.02, size=150_000, seed=3):
+    sim = Simulator(seed=seed)
+    client = Host(sim, "client")
+    server = Host(sim, "server")
+    wire(sim, client, "eth0", server, "eth0",
+         Channel(sim, "up", 20e6, delay=0.02),
+         Channel(sim, "down", 20e6, delay=0.02, loss=loss, loss_burst=2.0))
+    client.set_default_route(client.interfaces["eth0"])
+    server.set_default_route(server.interfaces["eth0"])
+
+    live_probe = TstatProbe(sim, "live")
+    live_probe.attach(client.interfaces["eth0"])
+    recorder = TraceRecorder(client.interfaces["eth0"])
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(size), ep.close())
+
+    TcpServer(sim, server, 80, on_conn)
+    cl = open_connection(sim, client, "server", 80)
+    cl.on_established = lambda: cl.send(300)
+    cl.on_data = lambda n, t: None
+    cl.connect()
+    sim.run(until=120.0)
+    return live_probe, recorder.detach(), cl
+
+
+def test_offline_replay_matches_live_capture():
+    live, trace, cl = run_capture()
+    offline = TstatProbe(Simulator(), "offline")
+    trace.replay_into(offline)
+    key = list(live.flows)[0]
+    live_metrics = live.metrics_for(key)
+    offline_metrics = offline.metrics_for(key)
+    assert offline_metrics == pytest.approx(live_metrics)
+
+
+def test_trace_flow_listing():
+    _live, trace, cl = run_capture()
+    flows = trace.flows()
+    assert len(flows) == 1
+    assert {flows[0].src, flows[0].dst} == {"client", "server"}
+
+
+def test_trace_roundtrip_on_disk(tmp_path):
+    _live, trace, _cl = run_capture()
+    path = tmp_path / "capture.trace"
+    trace.save(path)
+    loaded = PacketTrace.load(path)
+    assert len(loaded) == len(trace)
+    offline_a = TstatProbe(Simulator())
+    offline_b = TstatProbe(Simulator())
+    trace.replay_into(offline_a)
+    loaded.replay_into(offline_b)
+    key = trace.flows()[0]
+    assert offline_b.metrics_for(key) == pytest.approx(offline_a.metrics_for(key))
+
+
+def test_trace_load_rejects_garbage(tmp_path):
+    import pickle
+
+    path = tmp_path / "junk"
+    path.write_bytes(pickle.dumps({"format": "other"}))
+    with pytest.raises(ValueError):
+        PacketTrace.load(path)
+
+
+def test_detach_stops_recording():
+    sim = Simulator()
+    host = Host(sim, "h")
+    iface = host.add_interface("eth0")
+    recorder = TraceRecorder(iface)
+    trace = recorder.detach()
+    assert iface.taps == []
+    assert len(trace) == 0

@@ -1,0 +1,98 @@
+"""Unit tests for UDP senders and sinks."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.simnet.udp import UdpSender, UdpSink
+
+
+def build():
+    sim = Simulator(seed=0)
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    wire(sim, a, "eth0", b, "eth0",
+         Channel(sim, "f", 1e9, queue_limit_bytes=10**9),
+         Channel(sim, "b", 1e9, queue_limit_bytes=10**9))
+    a.set_default_route(a.interfaces["eth0"])
+    b.set_default_route(b.interfaces["eth0"])
+    return sim, a, b
+
+
+def test_cbr_rate_accuracy():
+    sim, a, b = build()
+    sink = UdpSink(b, 5001)
+    sender = UdpSender(sim, a, "b", 5001, rate_bps=1e6, payload=1000,
+                       jitter_factor=0.0)
+    sender.start()
+    sim.run(until=10.0)
+    sender.stop()
+    payload_rate = sink.pkts_received * 1000 * 8 / 10.0
+    assert payload_rate == pytest.approx(1e6, rel=0.05)
+
+
+def test_stop_halts_emission():
+    sim, a, b = build()
+    sink = UdpSink(b, 5001)
+    sender = UdpSender(sim, a, "b", 5001, rate_bps=1e6)
+    sender.start()
+    sim.run(until=1.0)
+    sender.stop()
+    count = sink.pkts_received
+    sim.run(until=5.0)
+    assert sink.pkts_received <= count + 1  # at most one in-flight packet
+
+
+def test_set_rate_changes_pace():
+    sim, a, b = build()
+    sink = UdpSink(b, 5001)
+    sender = UdpSender(sim, a, "b", 5001, rate_bps=1e6, payload=1000,
+                       jitter_factor=0.0)
+    sender.start()
+    sim.run(until=2.0)
+    low = sink.pkts_received
+    sender.set_rate(4e6)
+    sim.run(until=4.0)
+    high = sink.pkts_received - low
+    assert high > low * 2
+
+
+def test_on_off_pattern_reduces_volume():
+    sim, a, b = build()
+    sink_cbr = UdpSink(b, 5001)
+    sink_onoff = UdpSink(b, 5002)
+    UdpSender(sim, a, "b", 5001, rate_bps=1e6, jitter_factor=0.0).start()
+    onoff = UdpSender(sim, a, "b", 5002, rate_bps=1e6, jitter_factor=0.0,
+                      on_time=1.0, off_time=2.0)
+    onoff.start()
+    sim.run(until=30.0)
+    assert sink_onoff.pkts_received < sink_cbr.pkts_received
+
+
+def test_invalid_rate_rejected():
+    sim, a, b = build()
+    with pytest.raises(ValueError):
+        UdpSender(sim, a, "b", 5001, rate_bps=0)
+    sender = UdpSender(sim, a, "b", 5001, rate_bps=1e6)
+    with pytest.raises(ValueError):
+        sender.set_rate(-1)
+
+
+def test_sink_counts_bytes_and_callback():
+    sim, a, b = build()
+    got = []
+    sink = UdpSink(b, 5001, on_packet=got.append)
+    sender = UdpSender(sim, a, "b", 5001, rate_bps=1e6, payload=500)
+    sender.start()
+    sim.run(until=0.5)
+    sender.stop()
+    assert sink.pkts_received == len(got) > 0
+    assert sink.bytes_received == sum(p.size for p in got)
+
+
+def test_sink_close_unbinds():
+    sim, a, b = build()
+    sink = UdpSink(b, 5001)
+    sink.close()
+    b.bind(17, 5001, lambda p: None)  # port free again

@@ -1,0 +1,163 @@
+"""Unit tests for the 802.11 medium model."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.node import Host, wire
+from repro.simnet.packet import Packet, UDP
+from repro.simnet.wireless import (
+    RATE_TABLE,
+    WifiMedium,
+    frame_error_prob,
+    select_rate,
+)
+
+
+def build(phone_rssi=-45.0, duty=0.0, seed=0):
+    sim = Simulator(seed=seed)
+    ap = Host(sim, "ap")
+    phone = Host(sim, "phone")
+    medium = WifiMedium(sim)
+    ap_if = ap.add_interface("wlan0")
+    ph_if = phone.add_interface("wlan0")
+    medium.add_station("ap", ap_if, is_ap=True, base_rssi=-30.0, shadow_sigma=0.0)
+    st = medium.add_station("phone", ph_if, base_rssi=phone_rssi)
+    st.shadow_sigma = 0.0
+    medium.set_interference(duty)
+    ap.add_route("phone", ap_if)
+    phone.set_default_route(ph_if)
+    return sim, ap, phone, medium
+
+
+def blast(sim, src, dst_name, n=200, payload=1400):
+    got = []
+    dstport = 9
+    for node in (src,):
+        pass
+    for _ in range(n):
+        src.send(Packet(src=src.name, dst=dst_name, sport=1, dport=dstport,
+                        proto=UDP, payload_len=payload))
+    return got
+
+
+def test_rate_selection_monotone_in_snr():
+    rates = [select_rate(snr) for snr in range(0, 40, 2)]
+    assert rates == sorted(rates)
+    assert rates[0] == RATE_TABLE[0][1]
+    assert rates[-1] == RATE_TABLE[-1][1]
+
+
+def test_frame_error_decreases_with_snr():
+    rate = RATE_TABLE[5][1]
+    errors = [frame_error_prob(snr, rate) for snr in (5, 10, 20, 30)]
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] < 0.05
+
+
+def test_delivery_good_signal():
+    sim, ap, phone, medium = build()
+    got = []
+    phone.bind(UDP, 9, got.append)
+    blast(sim, ap, "phone", n=100)
+    sim.run(until=5.0)
+    assert len(got) == 100
+    assert medium.stations["ap"].frames_tx == 100
+    assert medium.stations["phone"].frames_rx == 100
+
+
+def test_low_rssi_lowers_phy_rate_and_throughput():
+    results = {}
+    for rssi in (-45.0, -88.0):
+        sim, ap, phone, medium = build(phone_rssi=rssi, seed=3)
+        got = []
+        phone.bind(UDP, 9, lambda p: got.append(sim.now))
+        blast(sim, ap, "phone", n=300)
+        sim.run(until=60.0)
+        st = medium.stations["phone"]
+        results[rssi] = {
+            "done": got[-1] if got else float("inf"),
+            "rate": st.mean_phy_rate,
+            "retries": medium.stations["ap"].retries,
+        }
+    assert results[-88.0]["rate"] < results[-45.0]["rate"] / 3
+    assert results[-88.0]["done"] > results[-45.0]["done"] * 3
+    assert results[-88.0]["retries"] > results[-45.0]["retries"]
+
+
+def test_interference_slows_without_touching_rssi():
+    results = {}
+    for duty in (0.0, 0.9):
+        sim, ap, phone, medium = build(duty=duty, seed=4)
+        got = []
+        phone.bind(UDP, 9, lambda p: got.append(sim.now))
+        blast(sim, ap, "phone", n=200)
+        sim.run(until=60.0)
+        st = medium.stations["phone"]
+        results[duty] = {
+            "done": got[-1],
+            "rssi": st.rssi(sim.now),
+            "rate": st.mean_phy_rate,
+        }
+    assert results[0.9]["done"] > results[0.0]["done"] * 2
+    # RSSI and PHY rate are unaffected by interference -- the signature
+    # that lets only RSSI-equipped VPs distinguish the two faults.
+    assert results[0.9]["rssi"] == pytest.approx(results[0.0]["rssi"], abs=3.0)
+    assert results[0.9]["rate"] == pytest.approx(results[0.0]["rate"], rel=0.05)
+
+
+def test_uplink_uses_ap_as_next_hop():
+    sim, ap, phone, medium = build()
+    got = []
+    ap.bind(UDP, 9, got.append)
+    phone.send(Packet(src="phone", dst="ap", sport=1, dport=9, proto=UDP,
+                      payload_len=100))
+    sim.run(until=1.0)
+    assert len(got) == 1
+
+
+def test_queue_limit_drops():
+    sim, ap, phone, medium = build(phone_rssi=-89.0)
+    st = medium.stations["ap"]
+    st.queue_limit_bytes = 5000
+    phone.bind(UDP, 9, lambda p: None)
+    sent = [ap.send(Packet(src="ap", dst="phone", sport=1, dport=9, proto=UDP,
+                           payload_len=1400)) for _ in range(20)]
+    assert sent.count(False) > 0
+    assert st.queue_drops == sent.count(False)
+
+
+def test_duplicate_station_rejected():
+    sim, ap, phone, medium = build()
+    with pytest.raises(ValueError):
+        medium.add_station("phone", phone.interfaces["wlan0"])
+
+
+def test_second_ap_rejected():
+    sim, ap, phone, medium = build()
+    extra = Host(sim, "x")
+    iface = extra.add_interface("wlan0")
+    with pytest.raises(ValueError):
+        medium.add_station("x", iface, is_ap=True)
+
+
+def test_disconnection_counted_below_threshold():
+    sim, ap, phone, medium = build(phone_rssi=-45.0)
+    st = medium.stations["phone"]
+    st.rssi(sim.now)
+    st.attenuation = 50.0  # plunge below the disconnect threshold
+    sim.run(until=1.0)
+    st.rssi(sim.now)
+    assert st.disconnections == 1
+
+
+def test_shadowing_varies_rssi_but_tracks_mean():
+    sim, ap, phone, medium = build()
+    st = medium.stations["phone"]
+    st.shadow_sigma = 2.0
+    samples = []
+    for i in range(200):
+        sim.run(until=sim.now + 1.0)
+        samples.append(st.rssi(sim.now))
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(-45.0, abs=1.5)
+    assert max(samples) - min(samples) > 2.0

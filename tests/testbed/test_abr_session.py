@@ -1,0 +1,56 @@
+"""Integration tests for ABR sessions on the full testbed."""
+
+import random
+
+import pytest
+
+from repro.faults import make_fault
+from repro.testbed.testbed import Testbed, TestbedConfig
+from repro.video.catalog import VideoCatalog
+
+CATALOG = VideoCatalog(size=10, duration_range=(12.0, 18.0), seed=5)
+HD = next(v for v in CATALOG if v.definition == "HD")
+
+
+def run_abr(seed=61, fault=None):
+    bed = Testbed(TestbedConfig(seed=seed))
+    record = bed.run_abr_session(HD, fault=fault)
+    bed.shutdown()
+    return record
+
+
+def test_abr_session_healthy():
+    record = run_abr()
+    assert record.severity == "good"
+    assert record.meta["server_mode"] == "abr"
+    assert record.app_metrics["abr_segments"] >= 2
+    assert record.app_metrics["abr_avg_bitrate"] > 0
+
+
+def test_abr_record_has_full_feature_namespace():
+    record = run_abr()
+    prefixes = {name.split("_", 1)[0] for name in record.features}
+    assert prefixes == {"mobile", "router", "server"}
+    assert record.features["mobile_tcp_s2c_data_bytes"] > 0
+
+
+def test_abr_adapts_under_wan_shaping():
+    fault = make_fault("wan_shaping", "severe", random.Random(3))
+    record = run_abr(seed=62, fault=fault)
+    healthy = run_abr(seed=62)
+    # The controller steps down: shaped sessions deliver lower bitrate.
+    assert (
+        record.app_metrics["abr_avg_bitrate"]
+        < healthy.app_metrics["abr_avg_bitrate"]
+    )
+
+
+def test_lab_model_diagnoses_abr_sessions(mini_dataset):
+    """Delivery agnosticism: the progressive-trained analyzer still reads
+    ABR sessions (Section 2's requirement)."""
+    from repro.core.diagnosis import RootCauseAnalyzer
+
+    analyzer = RootCauseAnalyzer(vps=("mobile",)).fit(mini_dataset)
+    record = run_abr(seed=63)
+    report = analyzer.diagnose_record(record)
+    assert report.severity in ("good", "mild", "severe")

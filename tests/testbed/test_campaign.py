@@ -1,0 +1,95 @@
+"""Tests for campaign generation (uses the shared session fixture)."""
+
+import pytest
+
+from repro.faults.base import FAULT_NAMES
+from repro.testbed.campaign import CampaignConfig, iter_campaign, run_campaign
+from repro.testbed.realworld import (
+    RealWorldConfig,
+    WildConfig,
+    run_realworld_campaign,
+    run_wild_campaign,
+)
+
+
+def test_campaign_count_and_metadata(mini_campaign_records):
+    records = mini_campaign_records
+    assert len(records) == 28
+    for i, record in enumerate(records):
+        assert record.meta["instance_index"] == i
+        assert "instance_seed" in record.meta
+
+
+def test_campaign_has_healthy_and_faulty(mini_campaign_records):
+    names = {r.fault_name for r in mini_campaign_records}
+    assert "none" in names
+    assert len(names - {"none"}) >= 3
+
+
+def test_campaign_labels_are_valid(mini_campaign_records):
+    for record in mini_campaign_records:
+        assert record.severity in ("good", "mild", "severe")
+        if record.exact_label != "good":
+            fault, severity = record.exact_label.rsplit("_", 1)
+            assert fault in FAULT_NAMES
+            assert severity in ("mild", "severe")
+
+
+def test_campaign_reproducible_prefix():
+    config = CampaignConfig(n_instances=2, seed=77,
+                            video_duration_range=(10.0, 14.0))
+    a = run_campaign(config)
+    b = run_campaign(config)
+    assert [r.features for r in a] == [r.features for r in b]
+
+
+def test_iter_campaign_is_lazy():
+    config = CampaignConfig(n_instances=1000, seed=78,
+                            video_duration_range=(10.0, 12.0))
+    iterator = iter_campaign(config)
+    first = next(iterator)
+    assert first.meta["instance_index"] == 0
+
+
+def test_progress_callback_invoked():
+    seen = []
+    config = CampaignConfig(n_instances=2, seed=79,
+                            video_duration_range=(10.0, 12.0))
+    run_campaign(config, progress=lambda i, r: seen.append(i))
+    assert seen == [0, 1]
+
+
+@pytest.mark.slow
+def test_realworld_campaign_smoke():
+    records = run_realworld_campaign(
+        RealWorldConfig(n_instances=3, seed=80, video_duration_range=(10.0, 12.0))
+    )
+    assert len(records) == 3
+    assert all(r.meta["environment"] == "realworld-induced" for r in records)
+    assert {r.meta["service"] for r in records} <= {"youtube", "private"}
+
+
+@pytest.mark.slow
+def test_wild_campaign_router_vp_blanked_on_cellular():
+    records = run_wild_campaign(
+        WildConfig(n_instances=6, seed=81, cellular_fraction=1.0,
+                   video_duration_range=(10.0, 12.0))
+    )
+    for record in records:
+        assert record.meta["network"] == "3g"
+        assert record.meta["router_vp_available"] is False
+        router_features = [v for k, v in record.features.items()
+                          if k.startswith("router_")]
+        assert all(v == 0.0 for v in router_features)
+
+
+@pytest.mark.slow
+def test_wild_campaign_wifi_keeps_router_vp():
+    records = run_wild_campaign(
+        WildConfig(n_instances=4, seed=82, cellular_fraction=0.0,
+                   video_duration_range=(10.0, 12.0))
+    )
+    assert any(
+        any(v != 0.0 for k, v in r.features.items() if k.startswith("router_"))
+        for r in records
+    )

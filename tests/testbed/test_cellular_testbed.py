@@ -1,0 +1,66 @@
+"""Integration tests for the cellular testbed and RNC probe."""
+
+import random
+
+import pytest
+
+from repro.testbed.cellular import (
+    CellularConfig,
+    CellularTestbed,
+    run_cellular_campaign,
+)
+from repro.video.catalog import VideoCatalog
+
+CATALOG = VideoCatalog(size=10, duration_range=(12.0, 18.0), seed=5)
+SD = next(v for v in CATALOG if v.definition == "SD")
+
+
+def test_healthy_cellular_session():
+    bed = CellularTestbed(CellularConfig(seed=71))
+    record = bed.run_video_session(SD)
+    bed.shutdown()
+    assert record.severity in ("good", "mild")
+    assert record.meta["wan_profile"] == "cellular"
+    # RNC features present under the router prefix.
+    assert "router_radio_rscp_avg" in record.features
+    assert "router_radio_cell_load" in record.features
+    # The phone's own radio view exists but never includes cell state.
+    assert "mobile_radio_rscp_avg" in record.features
+    assert "mobile_radio_cell_load" not in record.features
+
+
+def test_weak_signal_condition_degrades():
+    rng = random.Random(2)
+    bed = CellularTestbed(CellularConfig(seed=72))
+    record = bed.run_video_session(SD, condition="weak_signal",
+                                   severity="severe", rng=rng)
+    bed.shutdown()
+    assert record.fault_name == "weak_signal"
+    assert record.features["router_radio_rscp_avg"] < -100.0
+    assert record.severity in ("mild", "severe")
+
+
+def test_cell_load_condition_visible_at_rnc_only():
+    rng = random.Random(3)
+    bed = CellularTestbed(CellularConfig(seed=73))
+    record = bed.run_video_session(SD, condition="cell_load",
+                                   severity="severe", rng=rng)
+    bed.shutdown()
+    assert record.features["router_radio_cell_load"] > 0.8
+
+
+def test_unknown_condition_rejected():
+    bed = CellularTestbed(CellularConfig(seed=74))
+    with pytest.raises(ValueError):
+        bed.apply_condition("solar_flare", "mild", random.Random(0))
+    bed.shutdown()
+
+
+@pytest.mark.slow
+def test_cellular_campaign_smoke():
+    records = run_cellular_campaign(n_instances=4, seed=75)
+    assert len(records) == 4
+    names = {r.fault_name for r in records}
+    assert names  # mix of none/conditions
+    for record in records:
+        assert record.severity in ("good", "mild", "severe")

@@ -1,0 +1,102 @@
+"""Unit tests for background traffic and server load generators."""
+
+import pytest
+
+from repro.testbed.testbed import Testbed, TestbedConfig
+from repro.traffic.apachebench import ApacheBenchLoad
+from repro.traffic.ditg import BackgroundTraffic, TrafficMix
+
+
+def make_bed():
+    return Testbed(TestbedConfig(seed=21))
+
+
+def test_background_generates_traffic():
+    bed = make_bed()
+    bed.background.start()
+    bed.sim.run(until=20.0)
+    wan_pkts = bed.wan_down.pkts_sent + bed.wan_up.pkts_sent
+    assert wan_pkts > 200  # voip + gaming + web cross the WAN
+    bed.background.stop()
+
+
+def test_stop_halts_udp_flows():
+    bed = make_bed()
+    bed.background.start()
+    bed.sim.run(until=5.0)
+    bed.background.stop()
+    count = bed.wan_up.pkts_sent
+    bed.sim.run(until=10.0)
+    # a few in-flight packets may drain; no sustained flow remains
+    assert bed.wan_up.pkts_sent - count < 30
+
+
+def test_intensity_scales_volume():
+    """UDP source volume scales with intensity (channels may saturate)."""
+    volumes = {}
+    for intensity in (0.5, 3.0):
+        bed = Testbed(TestbedConfig(seed=22, traffic_mix=TrafficMix(intensity=intensity)))
+        bed.background.start()
+        bed.sim.run(until=15.0)
+        volumes[intensity] = sum(s.bytes_sent for s in bed.background._udp_senders)
+        bed.background.stop()
+    assert volumes[3.0] > volumes[0.5] * 2.0
+
+
+def test_mix_flags_disable_components():
+    mix = TrafficMix(voip=False, gaming=False, telnet=False, web=False,
+                     ftp=False, phone_apps=False)
+    bed = Testbed(TestbedConfig(seed=23, traffic_mix=mix))
+    bed.background.start()
+    bed.sim.run(until=10.0)
+    assert bed.wan_down.pkts_sent == 0
+    assert bed.background.tcp_transfers_started == 0
+
+
+def test_tcp_transfers_happen():
+    bed = make_bed()
+    bed.background.start()
+    bed.sim.run(until=30.0)
+    assert bed.background.tcp_transfers_started >= 2
+
+
+def test_double_start_is_noop():
+    bed = make_bed()
+    bed.background.start()
+    bed.background.start()
+    bed.background.stop()
+
+
+class TestApacheBench:
+    def test_load_wanders_around_base(self):
+        bed = make_bed()
+        ab = ApacheBenchLoad(bed.sim, bed.video_server, base_load=0.5,
+                             volatility=0.05)
+        ab.start()
+        samples = []
+        for _ in range(60):
+            bed.sim.run(until=bed.sim.now + 1.0)
+            samples.append(bed.video_server.load)
+        ab.stop()
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(0.5, abs=0.1)
+        assert max(samples) - min(samples) > 0.01
+
+    def test_load_clamped(self):
+        bed = make_bed()
+        ab = ApacheBenchLoad(bed.sim, bed.video_server, base_load=2.0)
+        assert ab.base_load <= 0.95
+        ab.start()
+        bed.sim.run(until=10.0)
+        assert 0.0 <= bed.video_server.load <= 0.98
+        ab.stop()
+
+    def test_stop_freezes_load(self):
+        bed = make_bed()
+        ab = ApacheBenchLoad(bed.sim, bed.video_server, base_load=0.4)
+        ab.start()
+        bed.sim.run(until=3.0)
+        ab.stop()
+        frozen = bed.video_server.load
+        bed.sim.run(until=10.0)
+        assert bed.video_server.load == frozen

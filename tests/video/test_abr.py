@@ -1,0 +1,124 @@
+"""Tests for the adaptive-bitrate streaming extension."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.video.abr import (
+    AbrController,
+    AbrVideoServer,
+    AbrVideoSession,
+    DEFAULT_LADDER,
+)
+from repro.video.catalog import VideoProfile
+
+PROFILE = VideoProfile("v", "HD", "720p", 1.8e6, 40.0)
+
+
+def build(rate=10e6, delay=0.02, seed=0, loss=0.0):
+    sim = Simulator(seed=seed)
+    server = Host(sim, "server")
+    phone = Host(sim, "phone")
+    wire(sim, server, "eth0", phone, "eth0",
+         Channel(sim, "down", rate, delay=delay, loss=loss),
+         Channel(sim, "up", rate, delay=delay))
+    server.set_default_route(server.interfaces["eth0"])
+    phone.set_default_route(phone.interfaces["eth0"])
+    return sim, server, phone
+
+
+def run_session(rate, seed=0, until=300.0):
+    sim, server_node, phone = build(rate=rate, seed=seed)
+    server = AbrVideoServer(sim, server_node)
+    session = AbrVideoSession(sim, phone, server, PROFILE)
+    session.start()
+    sim.run(until=until)
+    return session
+
+
+class TestController:
+    def test_starts_conservative(self):
+        assert AbrController().level == 0
+
+    def test_ramps_up_with_throughput(self):
+        ctl = AbrController()
+        for _ in range(10):
+            ctl.observe_segment(bits=8e6, seconds=1.0)  # 8 Mbit/s
+            ctl.next_level(buffer_s=10.0)
+        assert ctl.bitrate == max(DEFAULT_LADDER)
+
+    def test_one_rung_at_a_time(self):
+        ctl = AbrController()
+        ctl.observe_segment(bits=80e6, seconds=1.0)
+        before = ctl.level
+        ctl.next_level(buffer_s=10.0)
+        assert ctl.level == before + 1
+
+    def test_steps_down_on_low_throughput(self):
+        ctl = AbrController()
+        for _ in range(6):
+            ctl.observe_segment(bits=8e6, seconds=1.0)
+            ctl.next_level(buffer_s=10.0)
+        for _ in range(6):
+            ctl.observe_segment(bits=0.5e6, seconds=1.0)
+            ctl.next_level(buffer_s=4.0)
+        assert ctl.bitrate == min(DEFAULT_LADDER)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            AbrController(ladder=())
+
+
+class TestAbrSession:
+    def test_completes_on_fast_link(self):
+        session = run_session(rate=20e6, seed=1)
+        assert session.finished
+        m = session.player.metrics
+        assert m.completed and not m.abandoned
+        assert session.severity() == "good"
+        assert session.abr.segments >= PROFILE.duration_s / 4.0 - 1
+
+    def test_reaches_top_quality_on_fast_link(self):
+        session = run_session(rate=20e6, seed=2)
+        assert max(session.abr.level_history) == len(DEFAULT_LADDER) - 1
+        assert session.abr.average_bitrate > 1.0e6
+
+    def test_stays_low_on_slow_link(self):
+        session = run_session(rate=0.9e6, seed=3, until=600.0)
+        assert session.abr.average_bitrate < 0.9e6
+        assert max(session.abr.level_history) <= 2
+
+    def test_abr_avoids_stalls_where_progressive_fails(self):
+        """The adaptation benefit: on a 1.2 Mb/s link an 1.8 Mb/s video
+        stalls badly when streamed progressively but plays adaptively."""
+        from repro.video.server import VideoServer
+        from repro.video.session import VideoSession
+
+        # progressive
+        sim, server_node, phone = build(rate=1.2e6, seed=4)
+        vs = VideoServer(sim, server_node, port=80)
+        prog = VideoSession(sim, phone, vs, PROFILE)
+        prog.start()
+        sim.run(until=600.0)
+
+        abr = run_session(rate=1.2e6, seed=4, until=600.0)
+
+        prog_stalls = prog.player.metrics.qoe_stall_count
+        abr_stalls = abr.player.metrics.qoe_stall_count
+        assert abr_stalls < prog_stalls
+        assert abr.severity() in ("good", "mild")
+
+    def test_switch_count_recorded(self):
+        session = run_session(rate=20e6, seed=5)
+        assert session.abr.switches >= 1
+        assert len(session.abr.level_history) == session.abr.segments or \
+            len(session.abr.level_history) >= session.abr.segments
+
+    def test_double_start_rejected(self):
+        sim, server_node, phone = build()
+        server = AbrVideoServer(sim, server_node)
+        session = AbrVideoSession(sim, phone, server, PROFILE)
+        session.start()
+        with pytest.raises(RuntimeError):
+            session.start()

@@ -1,0 +1,59 @@
+"""Unit tests for the synthetic video catalog."""
+
+import random
+
+import pytest
+
+from repro.video.catalog import VideoCatalog, VideoProfile
+
+
+def test_catalog_size_and_reproducibility():
+    a = VideoCatalog(size=50, seed=3)
+    b = VideoCatalog(size=50, seed=3)
+    assert len(a) == 50
+    assert [v.bitrate_bps for v in a] == [v.bitrate_bps for v in b]
+    c = VideoCatalog(size=50, seed=4)
+    assert [v.bitrate_bps for v in a] != [v.bitrate_bps for v in c]
+
+
+def test_durations_clamped():
+    cat = VideoCatalog(size=200, duration_range=(20.0, 60.0), seed=1)
+    assert all(20.0 <= v.duration_s <= 60.0 for v in cat)
+
+
+def test_hd_fraction_respected():
+    cat = VideoCatalog(size=400, hd_fraction=0.25, seed=2)
+    hd = sum(1 for v in cat if v.definition == "HD")
+    assert 0.15 < hd / 400 < 0.35
+
+
+def test_sd_hd_bitrates_disjointish():
+    cat = VideoCatalog(size=200, seed=5)
+    sd_max = max(v.bitrate_bps for v in cat if v.definition == "SD")
+    hd_min = min(v.bitrate_bps for v in cat if v.definition == "HD")
+    assert sd_max < 1.6e6
+    assert hd_min > 1.3e6
+
+
+def test_size_bytes_consistent():
+    profile = VideoProfile("v", "SD", "360p", 8e5, 100.0)
+    assert profile.size_bytes == int(8e5 * 100 / 8)
+    assert profile.byte_rate == 1e5
+
+
+def test_get_and_pick():
+    cat = VideoCatalog(size=10, seed=6)
+    assert cat.get("vid003").video_id == "vid003"
+    assert cat.get("nope") is None
+    rng = random.Random(0)
+    assert cat.pick(rng) in list(cat)
+    assert cat.pick_sd(rng).definition == "SD"
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        VideoCatalog(size=0)
+    with pytest.raises(ValueError):
+        VideoCatalog(duration_range=(0, 10))
+    with pytest.raises(ValueError):
+        VideoCatalog(duration_range=(50, 10))

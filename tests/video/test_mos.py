@@ -1,0 +1,92 @@
+"""Unit and property tests for the Mok et al. MOS model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.video.mos import (
+    GOOD_THRESHOLD,
+    MILD_THRESHOLD,
+    MosModel,
+    mos_to_severity,
+)
+
+model = MosModel()
+
+
+def test_perfect_session_is_good():
+    result = model.score(0.5, 0, 0.0, 60.0)
+    assert result.mos == pytest.approx(4.23 - 0.0672 - 0.742 - 0.106)
+    assert mos_to_severity(result.mos) == "good"
+
+
+def test_levels_for_perfect_session():
+    result = model.score(0.5, 0, 0.0, 60.0)
+    assert (result.level_ti, result.level_fr, result.level_td) == (1, 1, 1)
+
+
+def test_never_started_is_severe():
+    result = model.score(0.0, 0, 0.0, 0.0, started=False)
+    assert result.mos == 1.0
+    assert mos_to_severity(result.mos) == "severe"
+
+
+def test_worst_case_is_severe():
+    result = model.score(30.0, 30, 300.0, 100.0)
+    assert result.mos == pytest.approx(4.23 - 3 * (0.0672 + 0.742 + 0.106))
+    assert mos_to_severity(result.mos) == "severe"
+
+
+def test_single_long_stall_is_not_good():
+    # One 20s stall in a 70s session: freq low but duration level high.
+    result = model.score(1.5, 1, 20.0, 70.0)
+    assert result.level_td == 3
+    assert result.mos < 3.1
+
+
+def test_frequency_drives_score():
+    rare = model.score(0.5, 1, 4.0, 100.0)
+    frequent = model.score(0.5, 20, 4.0, 100.0)
+    assert frequent.mos < rare.mos
+
+
+def test_startup_levels():
+    assert model.score(0.9, 0, 0, 60).level_ti == 1
+    assert model.score(3.0, 0, 0, 60).level_ti == 2
+    assert model.score(8.0, 0, 0, 60).level_ti == 3
+
+
+def test_severity_thresholds():
+    assert mos_to_severity(GOOD_THRESHOLD + 0.01) == "good"
+    assert mos_to_severity(GOOD_THRESHOLD) == "mild"
+    assert mos_to_severity(MILD_THRESHOLD) == "mild"
+    assert mos_to_severity(MILD_THRESHOLD - 0.01) == "severe"
+
+
+@given(
+    startup=st.floats(min_value=0, max_value=60),
+    stalls=st.integers(min_value=0, max_value=50),
+    stall_time=st.floats(min_value=0, max_value=300),
+    duration=st.floats(min_value=1, max_value=600),
+)
+def test_property_mos_bounded(startup, stalls, stall_time, duration):
+    result = model.score(startup, stalls, stall_time, duration)
+    assert 1.0 <= result.mos <= 4.23
+    assert result.level_ti in (1, 2, 3)
+    assert result.level_fr in (1, 2, 3)
+    assert result.level_td in (1, 2, 3)
+
+
+@given(
+    startup=st.floats(min_value=0, max_value=60),
+    duration=st.floats(min_value=1, max_value=600),
+)
+def test_property_monotone_in_stalls(startup, duration):
+    """More stalls of the same mean duration never improve the score.
+
+    (With *fixed total* stall time, Mok's regression can rate many short
+    stalls slightly above few long ones -- the duration level drops -- so
+    the honest invariant holds the mean stall duration constant.)
+    """
+    few = model.score(startup, 2, 2 * 5.0, duration)
+    many = model.score(startup, 25, 25 * 5.0, duration)
+    assert many.mos <= few.mos + 1e-9

@@ -1,0 +1,135 @@
+"""Unit tests for the video player buffer/stall model."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.video.catalog import VideoProfile
+from repro.video.player import PlayerConfig, VideoPlayer
+
+PROFILE = VideoProfile("v", "SD", "360p", 8e5, 20.0)  # 100 kB/s, 20s
+
+
+def make_player(sim, decode=1.0, config=None):
+    return VideoPlayer(
+        sim, PROFILE, config=config or PlayerConfig(),
+        decode_speed_fn=lambda: decode,
+    )
+
+
+def feed_steadily(sim, player, byte_rate, duration, interval=0.1):
+    """Schedule periodic feeds at ``byte_rate`` for ``duration`` seconds."""
+    steps = int(duration / interval)
+    for i in range(steps):
+        sim.schedule(i * interval, player.feed, int(byte_rate * interval))
+
+
+def test_smooth_playback_no_stalls():
+    sim = Simulator()
+    player = make_player(sim)
+    player.start()
+    feed_steadily(sim, player, 3e5, 10.0)  # 3x the media rate
+    sim.schedule(10.0, player.notify_download_complete)
+    sim.run(until=60.0)
+    m = player.metrics
+    assert m.started and m.completed and not m.abandoned
+    assert m.stall_count == 0
+    assert m.startup_delay_s < 2.0
+    assert m.content_played_s == pytest.approx(20.0, abs=0.3)
+
+
+def test_startup_delay_tracks_fill_rate():
+    sim = Simulator()
+    player = make_player(sim)
+    player.start()
+    feed_steadily(sim, player, 1e5, 25.0)  # exactly the media rate
+    sim.run(until=5.0)
+    # 2s of startup buffer at 1x rate => ~2s startup delay
+    assert player.metrics.started
+    assert player.metrics.startup_delay_s == pytest.approx(2.0, abs=0.3)
+
+
+def test_underrun_causes_stalls():
+    sim = Simulator()
+    player = make_player(sim)
+    player.start()
+    feed_steadily(sim, player, 6e4, 40.0)  # 60% of the media rate
+    sim.schedule(40.0, player.notify_download_complete)
+    sim.run(until=120.0)
+    m = player.metrics
+    assert m.stall_count >= 1
+    assert m.total_stall_s > 1.0
+
+
+def test_slow_decoder_stutters_without_network_blame():
+    sim = Simulator()
+    player = make_player(sim, decode=0.5)
+    player.start()
+    feed_steadily(sim, player, 5e5, 10.0)
+    sim.schedule(10.0, player.notify_download_complete)
+    sim.run(until=120.0)
+    m = player.metrics
+    assert m.stall_count == 0  # buffer never empty
+    assert m.stutter_s > 5.0  # but playback crawled
+    assert m.qoe_stall_count >= 2
+    assert m.frames_skipped > 0
+
+
+def test_startup_abandonment():
+    sim = Simulator()
+    player = make_player(sim, config=PlayerConfig(startup_abandon_s=5.0))
+    player.start()
+    sim.run(until=30.0)  # no bytes ever arrive
+    m = player.metrics
+    assert m.abandoned and not m.started
+    assert m.abandon_reason == "startup-timeout"
+
+
+def test_stall_abandonment():
+    sim = Simulator()
+    config = PlayerConfig(stall_abandon_s=4.0)
+    player = make_player(sim, config=config)
+    player.start()
+    feed_steadily(sim, player, 2e5, 4.0)  # then the network dies
+    sim.run(until=60.0)
+    m = player.metrics
+    assert m.started and m.abandoned
+    assert m.abandon_reason == "stall-timeout"
+
+
+def test_fail_marks_abandoned():
+    sim = Simulator()
+    player = make_player(sim)
+    player.start()
+    player.fail("handshake-timeout")
+    assert player.done
+    assert player.metrics.abandoned
+    assert player.metrics.abandon_reason == "handshake-timeout"
+
+
+def test_download_complete_plays_out_tail():
+    sim = Simulator()
+    player = make_player(sim)
+    player.start()
+    player.feed(PROFILE.size_bytes)  # whole file at once
+    player.notify_download_complete()
+    sim.run(until=60.0)
+    m = player.metrics
+    assert m.completed
+    assert m.stall_count == 0
+    assert m.watch_time_s == pytest.approx(20.0, abs=1.0)
+
+
+def test_buffer_accounting():
+    sim = Simulator()
+    player = make_player(sim)
+    player.feed(200_000)
+    assert player.buffer_s == pytest.approx(2.0)
+    assert player.metrics.bytes_received == 200_000
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+    player = make_player(sim)
+    player.start()
+    with pytest.raises(RuntimeError):
+        player.start()

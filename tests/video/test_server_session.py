@@ -1,0 +1,114 @@
+"""Integration tests: video server + session over a simple topology."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.video.catalog import VideoProfile
+from repro.video.server import VideoServer
+from repro.video.session import VideoSession
+
+PROFILE = VideoProfile("v", "SD", "360p", 8e5, 15.0)
+
+
+def build(rate=10e6, delay=0.01, seed=0):
+    sim = Simulator(seed=seed)
+    server = Host(sim, "server")
+    phone = Host(sim, "phone")
+    wire(sim, server, "eth0", phone, "eth0",
+         Channel(sim, "down", rate, delay=delay),
+         Channel(sim, "up", rate, delay=delay))
+    server.set_default_route(server.interfaces["eth0"])
+    phone.set_default_route(phone.interfaces["eth0"])
+    return sim, server, phone
+
+
+@pytest.mark.parametrize("mode", ["apache", "youtube"])
+def test_session_completes(mode):
+    sim, server_node, phone = build()
+    server = VideoServer(sim, server_node, mode=mode)
+    done = []
+    session = VideoSession(sim, phone, server, PROFILE, on_complete=done.append)
+    session.start()
+    sim.run(until=120.0)
+    assert session.finished
+    assert done == [session]
+    m = session.player.metrics
+    assert m.completed
+    assert m.bytes_received == pytest.approx(PROFILE.size_bytes, rel=0.01)
+    assert session.severity() == "good"
+
+
+def test_youtube_mode_paces_delivery():
+    """Apache floods the pipe; YouTube trickles after the initial burst."""
+    long_video = VideoProfile("v2", "SD", "360p", 8e5, 90.0)
+    rates = {}
+    for mode in ("apache", "youtube"):
+        sim, server_node, phone = build(rate=50e6)
+        server = VideoServer(sim, server_node, mode=mode)
+        session = VideoSession(sim, phone, server, long_video)
+        session.start()
+        sim.run(until=8.0)
+        rates[mode] = session.player.metrics.bytes_received
+    assert rates["apache"] > rates["youtube"] * 1.5
+
+
+def test_server_load_slows_first_byte():
+    delays = {}
+    for load in (0.0, 0.95):
+        sim, server_node, phone = build()
+        server = VideoServer(sim, server_node, mode="apache")
+        server.set_load(load)
+        session = VideoSession(sim, phone, server, PROFILE)
+        session.start()
+        sim.run(until=60.0)
+        delays[load] = session.player.metrics.startup_delay_s
+    assert delays[0.95] > delays[0.0]
+
+
+def test_unregistered_client_gets_empty_response():
+    sim, server_node, phone = build()
+    server = VideoServer(sim, server_node)
+    session = VideoSession(sim, phone, server, PROFILE)
+    session.start()
+    server._pending.clear()  # simulate a missing registration
+    sim.run(until=120.0)
+    assert session.finished
+    assert session.player.metrics.bytes_received == 0
+
+
+def test_session_mos_abandoned_capped():
+    sim, server_node, phone = build(rate=2e4)  # 20 kbit/s: hopeless
+    server = VideoServer(sim, server_node)
+    session = VideoSession(sim, phone, server, PROFILE)
+    session.start()
+    sim.run(until=400.0)
+    assert session.finished
+    assert session.player.metrics.abandoned
+    assert session.mos().mos < 2.0
+    assert session.severity() == "severe"
+
+
+def test_server_mode_validation():
+    sim, server_node, phone = build()
+    with pytest.raises(ValueError):
+        VideoServer(sim, server_node, mode="rtsp")
+
+
+def test_server_hw_view_tracks_load():
+    sim, server_node, phone = build()
+    server = VideoServer(sim, server_node)
+    idle_cpu = server.cpu_utilization()
+    server.set_load(0.9)
+    assert server.cpu_utilization() > idle_cpu + 0.5
+    assert server.free_memory() < 0.7
+
+
+def test_session_flow_key_identifies_video_flow():
+    sim, server_node, phone = build()
+    server = VideoServer(sim, server_node)
+    session = VideoSession(sim, phone, server, PROFILE)
+    session.start()
+    key = session.flow_key
+    assert key.src == "phone" and key.dst == "server" and key.dport == 80
