@@ -3,11 +3,18 @@
 These are classic repeated-timing pytest-benchmark cases (unlike the
 figure reproductions, which run once over the cached datasets).  They
 guard the hot paths: the event loop, the TCP stack, the passive tstat
-pipeline and C4.5 training.
+pipeline, C4.5 training, and the two throughput-layer paths -- vectorized
+batch diagnosis and the parallel campaign engine.
 """
 
-import numpy as np
+import os
+import time
 
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset, Instance
+from repro.core.diagnosis import RootCauseAnalyzer
 from repro.ml.tree import C45Tree
 from repro.probes.tstat import TstatProbe
 from repro.simnet.engine import Simulator
@@ -15,6 +22,7 @@ from repro.simnet.link import Channel
 from repro.simnet.node import Host, wire
 from repro.simnet.packet import Packet, UDP
 from repro.simnet.tcp import TcpServer, open_connection
+from repro.testbed.campaign import CampaignConfig, run_campaign
 
 
 def test_event_loop_throughput(benchmark):
@@ -81,6 +89,121 @@ def test_tstat_per_packet_cost(benchmark):
         return len(probe.flows)
 
     assert benchmark(run) == 1
+
+
+# ------------------------------------------------ throughput-layer guards
+
+
+def _probe_feature_names():
+    """A realistic multi-VP feature universe (~180 raw features)."""
+    names = []
+    for vp in ("mobile", "router", "server"):
+        for direction in ("c2s", "s2c"):
+            names += [f"{vp}_tcp_{direction}_{counter}" for counter in (
+                "pkts", "bytes", "data_pkts", "retx_pkts", "ooo_pkts",
+                "reordered_pkts", "pure_acks", "dup_acks", "sack_acks",
+                "data_bytes", "retx_bytes", "unique_bytes")]
+        names += [f"{vp}_tcp_rtt_avg", f"{vp}_tcp_rtt_max",
+                  f"{vp}_tcp_flow_duration",
+                  f"{vp}_link_tx_rate", f"{vp}_link_rx_rate",
+                  f"{vp}_hw_cpu_avg", f"{vp}_hw_mem_avg"]
+        names += [f"{vp}_tcp_extra_{i}" for i in range(30)]
+    return names
+
+
+def _synthetic_analyzer_and_sessions(n_sessions=1000):
+    names = _probe_feature_names()
+    rng = np.random.default_rng(0)
+
+    def features():
+        return {n: float(v) for n, v in zip(names, rng.uniform(0, 100, len(names)))}
+
+    def labels(f):
+        rtt = f["mobile_tcp_rtt_avg"]
+        if rtt < 33:
+            return "good", "good", "good"
+        if rtt < 66:
+            return "mild", "wan_mild", "wan_congestion_mild"
+        return "severe", "lan_severe", "wifi_interference_severe"
+
+    train = []
+    for _ in range(80):
+        f = features()
+        severity, location, exact = labels(f)
+        train.append(Instance(
+            features=f,
+            labels={"severity": severity, "location": location,
+                    "exact": exact,
+                    "existence": "good" if severity == "good" else "problematic"},
+            meta={"session_s": 30.0},
+        ))
+    analyzer = RootCauseAnalyzer(select=False).fit(Dataset(train))
+    sessions = [
+        Instance(features=features(), labels={},
+                 meta={"session_s": 25.0 + (i % 10)})
+        for i in range(n_sessions)
+    ]
+    return analyzer, sessions
+
+
+def test_batch_diagnosis_speedup():
+    """``diagnose_batch`` must beat looped ``diagnose`` by a wide margin.
+
+    The acceptance bar is 10x on 1000 synthetic sessions; CI can relax it
+    via ``REPRO_BATCH_SPEEDUP_MIN`` (shared runners are noisy) without
+    letting the vectorized path regress to per-session cost.
+    """
+    minimum = float(os.environ.get("REPRO_BATCH_SPEEDUP_MIN", "10"))
+    analyzer, sessions = _synthetic_analyzer_and_sessions()
+    analyzer.diagnose_batch(sessions)  # warm caches
+
+    start = time.perf_counter()
+    looped = [analyzer.diagnose(session) for session in sessions]
+    loop_s = time.perf_counter() - start
+
+    batch_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batched = analyzer.diagnose_batch(sessions)
+        batch_s = min(batch_s, time.perf_counter() - start)
+
+    assert [(r.severity, r.location, r.exact) for r in looped] == \
+           [(r.severity, r.location, r.exact) for r in batched]
+    speedup = loop_s / batch_s
+    print(f"\nbatch diagnosis: loop {loop_s * 1e3:.0f}ms, "
+          f"batch {batch_s * 1e3:.0f}ms, speedup {speedup:.1f}x")
+    assert speedup >= minimum, (
+        f"diagnose_batch only {speedup:.1f}x faster (need {minimum:.0f}x)"
+    )
+
+
+def test_parallel_campaign_scaling():
+    """``run_campaign(workers=N)`` must cut wall clock on a multi-core box
+    while producing records identical to the serial run."""
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip("needs at least 2 cores to measure scaling")
+    workers = min(4, cpus)
+    minimum = float(os.environ.get("REPRO_PARALLEL_SPEEDUP_MIN", "1.15"))
+    config = CampaignConfig(n_instances=8, seed=123,
+                            video_duration_range=(8.0, 10.0))
+
+    start = time.perf_counter()
+    serial = run_campaign(config, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_campaign(config, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    assert [r.features for r in serial] == [r.features for r in parallel]
+    assert [r.meta for r in serial] == [r.meta for r in parallel]
+    speedup = serial_s / parallel_s
+    print(f"\nparallel campaign: serial {serial_s:.1f}s, "
+          f"{workers} workers {parallel_s:.1f}s, speedup {speedup:.1f}x")
+    assert speedup >= minimum, (
+        f"parallel campaign only {speedup:.2f}x faster with {workers} workers"
+    )
 
 
 def test_c45_training_speed(benchmark):

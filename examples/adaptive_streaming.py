@@ -57,7 +57,7 @@ def main() -> None:
                          f"  switches={record.app_metrics['abr_switches']:.0f}")
             print(f"  {mode:<12} MOS={record.mos:.2f} ({record.severity}) "
                   f"stalls={stalls:.0f}{extra}")
-            report = analyzer.diagnose_record(record)
+            report = analyzer.diagnose(record)
             print(f"    diagnosis: {report.summary()}")
 
 

@@ -68,7 +68,7 @@ def main() -> None:
         print(f"--- incident: {fault_name} ({severity}), MOS={record.mos:.2f} ---")
         votes = {}
         for entity, analyzer in analyzers.items():
-            report = analyzer.diagnose_record(record)
+            report = analyzer.diagnose(record)
             votes[entity] = report.problem_location
             print(f"  {entity:<26} reports segment: {report.problem_location}")
         consensus = arbitrate(votes)

@@ -3,10 +3,12 @@
 
 Generates a controlled dataset with the paper's instance count, then runs
 the complete Section 5 evaluation suite on it.  This takes a couple of
-hours on a single core -- use ``--instances`` for a smaller run, or rely
-on ``benchmarks/`` which use the scaled default dataset.
+hours on a single core -- pass ``--workers N`` to fan the simulation out
+over N processes (results are identical), use ``--instances`` for a
+smaller run, or rely on ``benchmarks/`` which use the scaled default
+dataset.
 
-Run:  python examples/full_campaign.py [--instances N]
+Run:  python examples/full_campaign.py [--instances N] [--workers N]
 """
 
 import argparse
@@ -27,10 +29,14 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--instances", type=int, default=PAPER_INSTANCES,
                         help="campaign size (paper: 3919)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes simulating the campaign (default: "
+                             "REPRO_WORKERS or serial); results identical")
     args = parser.parse_args()
 
     start = time.time()
-    dataset = controlled_dataset(n_instances=args.instances, verbose=True)
+    dataset = controlled_dataset(n_instances=args.instances,
+                                 workers=args.workers, verbose=True)
     print(f"\ndataset ready in {time.time() - start:.0f}s: "
           f"{len(dataset)} instances / {len(dataset.feature_names)} features")
     print(f"severity distribution: {dataset.label_counts('severity')}")

@@ -45,7 +45,7 @@ def main() -> None:
             fault = make_fault(fault_name, severity, rng)
             record = bed.run_video_session(catalog.pick(rng), fault=fault)
             bed.shutdown()
-            report = app.diagnose_record(record)
+            report = app.diagnose(record)
             correct_location = report.problem_location == fault.location
             hits[fault_name] += int(correct_location)
             if trial == 0:

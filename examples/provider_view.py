@@ -42,7 +42,7 @@ def main() -> None:
             catalog.pick(rng), fault=make_fault(fault_name, severity, rng)
         )
         bed.shutdown()
-        report = provider.diagnose_record(record)
+        report = provider.diagnose(record)
         print(f"injected {fault_name:<16} -> provider blames: "
               f"{report.problem_location} ({report.summary()})")
 
@@ -55,7 +55,7 @@ def main() -> None:
         fault = make_fault("mobile_load", "severe", rng) if trial % 2 == 0 else None
         record = bed.run_video_session(catalog.pick(rng), fault=fault)
         bed.shutdown()
-        report = provider.diagnose_record(record)
+        report = provider.diagnose(record)
         true_cpu = record.meta["true_cpu"]
         bucket = flagged if report.cause == "mobile_load" else unflagged
         bucket.append(true_cpu)

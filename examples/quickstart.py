@@ -50,7 +50,7 @@ def main() -> None:
         )
         record = bed.run_video_session(catalog.pick(rng), fault=fault)
         bed.shutdown()
-        report = analyzer.diagnose_record(record)
+        report = analyzer.diagnose(record)
         truth = f"{fault_name}/{severity}" if fault else "healthy"
         print(f"\ninjected: {truth}   (MOS={record.mos:.2f})")
         print(f"diagnosis: {report.summary()}")

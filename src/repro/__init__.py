@@ -12,7 +12,7 @@ Quickstart::
     dataset = controlled_dataset(n_instances=200)   # simulate ground truth
     analyzer = RootCauseAnalyzer(vps=("mobile",))   # phone-only deployment
     analyzer.fit(dataset)
-    report = analyzer.diagnose_record(dataset[0])
+    report = analyzer.diagnose(dataset[0])
     print(report.summary())
 
 See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``

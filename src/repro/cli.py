@@ -11,16 +11,24 @@ Commands
     or a pickle produced by ``campaign``).
 ``diagnose``
     Train on one dataset and diagnose the sessions of another, printing
-    one human-readable report line per session.
+    one human-readable report line per session (or JSON with ``--json``;
+    ``--batch`` routes all sessions through the vectorized
+    ``diagnose_batch`` path).
+
+Campaign simulation parallelises over ``--workers`` processes (or the
+``REPRO_WORKERS`` environment variable); records are identical to a
+serial run.
 
 Examples
 --------
 
 ::
 
-    python -m repro campaign --kind controlled --instances 120 --out lab.pkl
+    python -m repro campaign --kind controlled --instances 120 \
+        --workers 4 --out lab.pkl
     python -m repro evaluate --experiment fig3 --dataset lab.pkl
     python -m repro diagnose --train lab.pkl --vps mobile --limit 5
+    python -m repro diagnose --train lab.pkl --batch --json
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ def _load_dataset(path: str) -> Dataset:
     return obj
 
 
-def _default_dataset(kind: str, instances):
+def _default_dataset(kind: str, instances, workers=None):
     from repro.experiments.common import (
         controlled_dataset,
         realworld_dataset,
@@ -54,11 +62,11 @@ def _default_dataset(kind: str, instances):
         "realworld": realworld_dataset,
         "wild": wild_dataset,
     }
-    return builders[kind](n_instances=instances, verbose=True)
+    return builders[kind](n_instances=instances, workers=workers, verbose=True)
 
 
 def cmd_campaign(args) -> int:
-    dataset = _default_dataset(args.kind, args.instances)
+    dataset = _default_dataset(args.kind, args.instances, workers=args.workers)
     with Path(args.out).open("wb") as fh:
         pickle.dump(dataset, fh, protocol=pickle.HIGHEST_PROTOCOL)
     print(f"wrote {len(dataset)} instances "
@@ -109,15 +117,28 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_diagnose(args) -> int:
+    import json
+
     train = (_load_dataset(args.train) if args.train
-             else _default_dataset("controlled", None))
+             else _default_dataset("controlled", None, workers=args.workers))
     target = _load_dataset(args.dataset) if args.dataset else train
     vps = tuple(args.vps.split(","))
     analyzer = RootCauseAnalyzer(vps=vps).fit(train)
     limit = args.limit if args.limit > 0 else len(target)
+    instances = target.instances[:limit]
+    if args.batch:
+        reports = analyzer.diagnose_batch(instances)
+    else:
+        reports = [analyzer.diagnose(inst) for inst in instances]
+    if args.json:
+        payload = [
+            dict(report.to_dict(), index=index, truth=inst.label("exact"))
+            for index, (inst, report) in enumerate(zip(instances, reports))
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
     hits = 0
-    for index, inst in enumerate(target.instances[:limit]):
-        report = analyzer.diagnose_record(inst)
+    for index, (inst, report) in enumerate(zip(instances, reports)):
         truth = inst.label("exact")
         match = "OK " if report.exact == truth else "MISS"
         hits += report.exact == truth
@@ -134,13 +155,19 @@ def cmd_diagnose(args) -> int:
 
 
 def cmd_report(args) -> int:
+    import json
+
     from repro.core.report import fleet_report
 
     train = (_load_dataset(args.train) if args.train
-             else _default_dataset("controlled", None))
+             else _default_dataset("controlled", None, workers=args.workers))
     target = _load_dataset(args.dataset) if args.dataset else train
     analyzer = RootCauseAnalyzer(vps=tuple(args.vps.split(","))).fit(train)
-    print(fleet_report(analyzer, target).to_text())
+    report = fleet_report(analyzer, target)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.to_text())
     return 0
 
 
@@ -152,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kind", choices=("controlled", "realworld", "wild"),
                    default="controlled")
     p.add_argument("--instances", type=int, default=None)
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulate instances on N processes (default: "
+                        "REPRO_WORKERS or serial); output is identical")
     p.add_argument("--out", required=True)
     p.set_defaults(fn=cmd_campaign)
 
@@ -169,12 +199,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     p.add_argument("--explain", action="store_true",
                    help="print the C4.5 decision path per diagnosis")
+    p.add_argument("--batch", action="store_true",
+                   help="diagnose all sessions in one vectorized batch")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
+    p.add_argument("--workers", type=int, default=None,
+                   help="workers for simulating the default training set")
     p.set_defaults(fn=cmd_diagnose)
 
     p = sub.add_parser("report", help="fleet QoE report over a dataset")
     p.add_argument("--train", help="training pickle (default: cached controlled)")
     p.add_argument("--dataset", help="sessions to report on (default: training set)")
     p.add_argument("--vps", default="mobile,router,server")
+    p.add_argument("--json", action="store_true",
+                   help="emit the fleet report as JSON")
+    p.add_argument("--workers", type=int, default=None,
+                   help="workers for simulating the default training set")
     p.set_defaults(fn=cmd_report)
     return parser
 

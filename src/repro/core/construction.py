@@ -17,7 +17,10 @@ instance (including live ones at diagnosis time).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.dataset import Dataset, Instance
 
@@ -36,6 +39,9 @@ _BYTE_COUNTERS = ("data_bytes", "retx_bytes", "unique_bytes")
 
 #: link-probe rate features turned into utilisations
 _RATE_SUFFIXES = ("tx_rate", "rx_rate")
+
+#: vantage points whose flow duration is normalised by session duration
+_FLOW_DURATION_VPS = ("mobile", "router", "server")
 
 
 class FeatureConstructor:
@@ -91,11 +97,118 @@ class FeatureConstructor:
 
         return out
 
+    def transform_rows(
+        self,
+        rows: Sequence[Dict[str, float]],
+        session_s: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Vectorized construction over a batch of raw feature dicts.
+
+        Returns ``(matrix, names)`` where ``matrix`` is a dense ``(n, f)``
+        array holding the raw features plus every constructed one, and
+        ``names`` labels the columns.  Missing raw features are zero-filled,
+        which matches the zero-default lookup the diagnosis path applies to
+        single dicts, so batch and per-dict construction agree feature for
+        feature.
+
+        ``session_s`` optionally gives the video-session duration per row;
+        rows with a positive duration gain the ``*_tcp_flow_duration_norm``
+        features, exactly as :meth:`transform_instance` does.
+        """
+        if not self.fitted:
+            raise RuntimeError("constructor must be fit before transform")
+        rows = list(rows)
+        n = len(rows)
+        if n == 0:
+            return np.zeros((0, 0)), []
+
+        # -- gather the raw matrix ------------------------------------------
+        first_keys = tuple(rows[0])
+        if all(map(first_keys.__eq__, map(tuple, rows))):
+            # homogeneous batch (the common fleet case): one C-level copy
+            names = list(first_keys)
+            flat = np.fromiter(
+                itertools.chain.from_iterable(row.values() for row in rows),
+                dtype=float,
+                count=n * len(names),
+            )
+            base = flat.reshape(n, len(names))
+        else:
+            name_set = set()
+            for row in rows:
+                name_set.update(row)
+            names = sorted(name_set)
+            index = {name: j for j, name in enumerate(names)}
+            base = np.zeros((n, len(names)))
+            for i, row in enumerate(rows):
+                for name, value in row.items():
+                    base[i, index[name]] = value
+        col = {name: j for j, name in enumerate(names)}
+
+        constructed: List[Tuple[str, np.ndarray]] = []
+
+        def emit(name: str, values: np.ndarray) -> None:
+            if name in col:
+                base[:, col[name]] = values
+            else:
+                constructed.append((name, values))
+
+        # -- per-direction count normalisation ------------------------------
+        for name in list(names):
+            if "_tcp_" not in name:
+                continue
+            for direction in ("c2s", "s2c"):
+                tag = f"_{direction}_"
+                if tag not in name:
+                    continue
+                prefix, suffix = name.split(tag, 1)
+                if suffix in _PKT_COUNTERS:
+                    total_name = f"{prefix}_{direction}_pkts"
+                elif suffix in _BYTE_COUNTERS:
+                    total_name = f"{prefix}_{direction}_bytes"
+                else:
+                    continue
+                values = base[:, col[name]]
+                if total_name in col:
+                    total = base[:, col[total_name]]
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        norm = np.where(total > 0, values / np.where(total > 0, total, 1.0), 0.0)
+                else:
+                    norm = np.zeros(n)
+                emit(f"{name}_norm", norm)
+
+        # -- NIC utilisation -------------------------------------------------
+        for name, max_rate in self._nic_max_rates.items():
+            if name in col and max_rate > 0:
+                util = np.minimum(1.0, base[:, col[name]] / max_rate)
+                emit(f"{name[:-5]}_util", util)
+
+        # -- flow duration over session duration ----------------------------
+        if session_s is not None:
+            sess = np.asarray(list(session_s), dtype=float)
+            if sess.shape != (n,):
+                raise ValueError("session_s must have one entry per row")
+            positive = sess > 0
+            safe = np.where(positive, sess, 1.0)
+            for vp in _FLOW_DURATION_VPS:
+                key = f"{vp}_tcp_flow_duration"
+                if key in col:
+                    norm = np.where(positive, base[:, col[key]] / safe, 0.0)
+                    emit(f"{key}_norm", norm)
+
+        if constructed:
+            extra = np.column_stack([values for _name, values in constructed])
+            matrix = np.concatenate([base, extra], axis=1)
+            names = names + [name for name, _values in constructed]
+        else:
+            matrix = base
+        return matrix, names
+
     def transform_instance(self, inst: Instance, session_s: Optional[float] = None) -> Instance:
         features = self.transform_features(inst.features)
         session = session_s or float(inst.meta.get("session_s", 0.0) or 0.0)
         if session > 0:
-            for vp in ("mobile", "router", "server"):
+            for vp in _FLOW_DURATION_VPS:
                 key = f"{vp}_tcp_flow_duration"
                 if key in features:
                     features[f"{key}_norm"] = features[key] / session
@@ -112,6 +225,34 @@ class FeatureConstructor:
 
     def fit_transform(self, dataset: Dataset) -> Dataset:
         return self.fit(dataset).transform(dataset)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the fitted construction state.
+
+        The state is independent of how the training campaign was executed
+        (serial or parallel): it only records the dataset-level per-NIC
+        maxima the transform needs.
+        """
+        if not self.fitted:
+            raise RuntimeError("constructor must be fit before exporting state")
+        return {
+            "format": "repro-fc-v1",
+            "nic_max_rates": {k: float(v) for k, v in self._nic_max_rates.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "FeatureConstructor":
+        """Rebuild a fitted constructor from :meth:`to_state` output."""
+        if state.get("format") != "repro-fc-v1":
+            raise ValueError("not a repro feature-constructor state")
+        constructor = cls()
+        constructor._nic_max_rates = {
+            str(k): float(v) for k, v in dict(state["nic_max_rates"]).items()
+        }
+        constructor.fitted = True
+        return constructor
 
     # -- introspection -----------------------------------------------------
 

@@ -19,9 +19,12 @@ of Section 3.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.construction import FeatureConstructor
 from repro.core.dataset import Dataset
@@ -30,6 +33,11 @@ from repro.core.vantage import ALL_VPS, combo_name, features_for_vps
 from repro.ml.tree import C45Tree
 
 _TASKS = ("severity", "location", "exact")
+
+#: what the diagnosis entry points accept: a raw ``{feature: value}`` dict
+#: or any record-like object carrying ``features`` (and optionally
+#: ``meta["session_s"]``).
+SessionLike = Union[Dict[str, float], object]
 
 _LOCATION_HINTS = {
     "mobile": "the mobile device itself",
@@ -84,6 +92,23 @@ class DiagnosisReport:
             f"root cause: {cause}; located at {where}."
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form, for JSON pipelines and dashboards."""
+        return {
+            "severity": self.severity,
+            "location": self.location,
+            "exact": self.exact,
+            "vps": list(self.vps),
+            "has_problem": self.has_problem,
+            "cause": self.cause,
+            "problem_location": self.problem_location,
+            "summary": self.summary(),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """The diagnosis as a JSON string (``kwargs`` go to ``json.dumps``)."""
+        return json.dumps(self.to_dict(), **kwargs)
+
 
 class RootCauseAnalyzer:
     """End-to-end RCA pipeline bound to a set of vantage points."""
@@ -133,12 +158,36 @@ class RootCauseAnalyzer:
 
     # -------------------------------------------------------------- diagnose
 
-    def diagnose(
+    @staticmethod
+    def _coerce_session(
+        session: "SessionLike",
+        session_s: Optional[float],
+    ) -> Tuple[Dict[str, float], Optional[float]]:
+        """Normalise a record-or-dict input to ``(features, session_s)``.
+
+        Anything with a ``features`` attribute (a ``SessionRecord``, a
+        dataset ``Instance``, ...) is unpacked, taking the session duration
+        from its ``meta`` unless given explicitly; plain dicts pass through.
+        """
+        if hasattr(session, "features"):
+            if session_s is None:
+                session_s = float(
+                    getattr(session, "meta", {}).get("session_s", 0.0) or 0.0
+                )
+            return dict(session.features), session_s
+        return session, session_s
+
+    def _construct_row(
         self,
         features: Dict[str, float],
         session_s: Optional[float] = None,
-    ) -> DiagnosisReport:
-        """Diagnose one session from its raw probe features."""
+    ) -> Dict[str, float]:
+        """The single preprocessing path shared by every diagnosis entry.
+
+        Applies feature construction and, when the session duration is
+        known, the flow-duration normalisation -- the same flow
+        ``diagnose_batch`` runs vectorized over a whole matrix.
+        """
         if not self.fitted:
             raise RuntimeError("analyzer must be fit first")
         constructed = self.constructor.transform_features(features)
@@ -147,10 +196,12 @@ class RootCauseAnalyzer:
                 key = f"{vp}_tcp_flow_duration"
                 if key in constructed:
                     constructed[f"{key}_norm"] = constructed[key] / session_s
-        predictions: Dict[str, str] = {}
-        for task in _TASKS:
-            row = [constructed.get(n, 0.0) for n in self.features[task]]
-            predictions[task] = str(self.models[task].predict_one(row))
+        return constructed
+
+    def _task_vector(self, constructed: Dict[str, float], task: str) -> List[float]:
+        return [constructed.get(n, 0.0) for n in self.features[task]]
+
+    def _make_report(self, predictions: Dict[str, str]) -> DiagnosisReport:
         return DiagnosisReport(
             severity=predictions["severity"],
             location=predictions["location"],
@@ -159,12 +210,86 @@ class RootCauseAnalyzer:
             details={"used_features": {t: self.features[t] for t in _TASKS}},
         )
 
+    def diagnose(
+        self,
+        session: "SessionLike",
+        session_s: Optional[float] = None,
+    ) -> DiagnosisReport:
+        """Diagnose one session.
+
+        ``session`` is either a raw ``{feature: value}`` dict or any object
+        with ``features`` (and optionally ``meta["session_s"]``), such as a
+        :class:`~repro.testbed.testbed.SessionRecord` or a dataset
+        ``Instance``.
+        """
+        features, session_s = self._coerce_session(session, session_s)
+        constructed = self._construct_row(features, session_s)
+        predictions = {
+            task: str(self.models[task].predict_one(self._task_vector(constructed, task)))
+            for task in _TASKS
+        }
+        return self._make_report(predictions)
+
     def diagnose_record(self, record) -> DiagnosisReport:
-        """Convenience: diagnose a :class:`SessionRecord` or Instance."""
-        session = float(
-            getattr(record, "meta", {}).get("session_s", 0.0) or 0.0
+        """Deprecated alias: :meth:`diagnose` now accepts records directly."""
+        warnings.warn(
+            "diagnose_record() is deprecated; pass the record to diagnose()",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return self.diagnose(dict(record.features), session_s=session)
+        return self.diagnose(record)
+
+    def diagnose_batch(
+        self,
+        sessions: Iterable["SessionLike"],
+    ) -> List[DiagnosisReport]:
+        """Vectorized diagnosis of many sessions at once.
+
+        Builds one feature matrix for the whole batch via
+        :meth:`FeatureConstructor.transform_rows` and calls each task model's
+        ``predict(X)`` exactly once, so fleet-scale workloads pay numpy
+        prices instead of per-session Python prices.  Labels are identical
+        to looping :meth:`diagnose` over the same sessions.
+        """
+        if not self.fitted:
+            raise RuntimeError("analyzer must be fit first")
+        rows: List[Dict[str, float]] = []
+        durations: List[float] = []
+        for session in sessions:
+            if hasattr(session, "features"):
+                rows.append(session.features)
+                durations.append(
+                    float(getattr(session, "meta", {}).get("session_s", 0.0) or 0.0)
+                )
+            else:
+                rows.append(session)
+                durations.append(0.0)
+        if not rows:
+            return []
+        matrix, names = self.constructor.transform_rows(rows, session_s=durations)
+        column = {name: j for j, name in enumerate(names)}
+        # Pad with one zero column so every selected feature -- present or
+        # not -- resolves with a single fancy-index per task.
+        padded = np.concatenate([matrix, np.zeros((len(rows), 1))], axis=1)
+        zero_col = padded.shape[1] - 1
+        predictions: Dict[str, Sequence[str]] = {}
+        for task in _TASKS:
+            idx = [column.get(name, zero_col) for name in self.features[task]]
+            labels = self.models[task].predict(padded[:, idx])
+            predictions[task] = [str(label) for label in np.asarray(labels).tolist()]
+        used = {t: self.features[t] for t in _TASKS}
+        return [
+            DiagnosisReport(
+                severity=severity,
+                location=location,
+                exact=exact,
+                vps=self.vps,
+                details={"used_features": used},
+            )
+            for severity, location, exact in zip(
+                predictions["severity"], predictions["location"], predictions["exact"]
+            )
+        ]
 
     # ------------------------------------------------------------ inspection
 
@@ -194,16 +319,10 @@ class RootCauseAnalyzer:
         """
         from repro.ml.rules import decision_path
 
-        if not self.fitted:
-            raise RuntimeError("analyzer must be fit first")
-        constructed = self.constructor.transform_features(features)
-        if session_s and session_s > 0:
-            for vp in ALL_VPS:
-                key = f"{vp}_tcp_flow_duration"
-                if key in constructed:
-                    constructed[f"{key}_norm"] = constructed[key] / session_s
+        features, session_s = self._coerce_session(features, session_s)
+        constructed = self._construct_row(features, session_s)
         model = self.models[task]
-        row = [constructed.get(n, 0.0) for n in self.features[task]]
+        row = self._task_vector(constructed, task)
         label = str(model.predict_one(row))
         return label, decision_path(model, row)
 
@@ -212,20 +331,22 @@ class RootCauseAnalyzer:
     def save(self, path) -> None:
         """Persist the trained pipeline as JSON (no pickled code).
 
-        The export carries the per-task C4.5 trees, their feature lists and
-        the feature-construction state (per-NIC maxima), so a lab-trained
-        analyzer can be shipped to probes and reloaded with :meth:`load`.
+        The ``repro-analyzer-v2`` export carries the per-task C4.5 trees,
+        their feature lists and the explicit feature-construction state
+        (:meth:`FeatureConstructor.to_state` -- independent of how many
+        workers collected the training campaign), so a lab-trained analyzer
+        can be shipped to probes and reloaded with :meth:`load`.
         """
         from repro.ml.export import tree_to_dict
 
         if not self.fitted:
             raise RuntimeError("analyzer must be fit before saving")
         payload = {
-            "format": "repro-analyzer-v1",
+            "format": "repro-analyzer-v2",
             "vps": list(self.vps),
             "fs_delta": self.fs_delta,
             "select": self.select,
-            "nic_max_rates": self.constructor.nic_max_rates,
+            "constructor": self.constructor.to_state(),
             "tasks": {
                 task: {
                     "features": self.features[task],
@@ -238,20 +359,28 @@ class RootCauseAnalyzer:
 
     @classmethod
     def load(cls, path) -> "RootCauseAnalyzer":
-        """Reload an analyzer saved by :meth:`save`."""
+        """Reload an analyzer saved by :meth:`save` (v1 or v2 export)."""
         from repro.ml.export import tree_from_dict
 
         payload = json.loads(Path(path).read_text())
-        if payload.get("format") != "repro-analyzer-v1":
+        version = payload.get("format")
+        if version == "repro-analyzer-v2":
+            state = payload["constructor"]
+        elif version == "repro-analyzer-v1":
+            # v1 stored the per-NIC maxima inline; lift them into the
+            # explicit constructor-state shape.
+            state = {
+                "format": "repro-fc-v1",
+                "nic_max_rates": payload["nic_max_rates"],
+            }
+        else:
             raise ValueError("not a repro analyzer export")
         analyzer = cls(
             vps=tuple(payload["vps"]),
             fs_delta=payload.get("fs_delta", 0.01),
             select=payload.get("select", True),
         )
-        analyzer.constructor = FeatureConstructor()
-        analyzer.constructor._nic_max_rates = dict(payload["nic_max_rates"])
-        analyzer.constructor.fitted = True
+        analyzer.constructor = FeatureConstructor.from_state(state)
         for task, blob in payload["tasks"].items():
             analyzer.features[task] = list(blob["features"])
             analyzer.models[task] = tree_from_dict(blob["tree"])

@@ -65,13 +65,29 @@ class FleetReport:
                 lines.append(f"  #{index:<5} MOS={mos:.2f}  {report.summary()}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form for JSON pipelines (``repro report --json``)."""
+        return {
+            "n_sessions": self.n_sessions,
+            "mean_mos": self.mean_mos,
+            "problem_rate": self.problem_rate,
+            "severity_counts": dict(self.severity_counts),
+            "cause_counts": dict(self.cause_counts),
+            "location_counts": dict(self.location_counts),
+            "agreement": self.agreement,
+            "worst": [
+                {"index": index, "mos": mos, "diagnosis": report.to_dict()}
+                for index, mos, report in self.worst
+            ],
+        }
+
 
 def fleet_report(
     analyzer: RootCauseAnalyzer,
     sessions: Dataset,
     worst_k: int = 5,
 ) -> FleetReport:
-    """Diagnose every session and aggregate the operator view."""
+    """Diagnose every session (in one vectorized batch) and aggregate."""
     report = FleetReport(n_sessions=len(sessions))
     severities = Counter()
     causes = Counter()
@@ -79,8 +95,8 @@ def fleet_report(
     scored: List[Tuple[int, float, DiagnosisReport]] = []
     agree = 0
     mos_sum = 0.0
-    for index, inst in enumerate(sessions):
-        diagnosis = analyzer.diagnose_record(inst)
+    diagnoses = analyzer.diagnose_batch(sessions.instances)
+    for index, (inst, diagnosis) in enumerate(zip(sessions, diagnoses)):
         severities[diagnosis.severity] += 1
         if diagnosis.has_problem:
             causes[diagnosis.cause] += 1

@@ -1,21 +1,40 @@
-"""Controlled ground-truth campaigns (Section 4).
+"""Controlled ground-truth campaigns (Section 4) and the parallel engine.
 
 A campaign iterates scenarios: a randomly picked video is streamed while a
 fault of varied intensity is injected (or none, for healthy baselines),
 always on top of randomized background variations.  Every instance runs in
 a fresh, independently-seeded testbed so campaigns are reproducible and
 embarrassingly parallel.
+
+The parallel engine exploits exactly that: all per-instance seeds are drawn
+up front from the campaign RNG (the same draws the serial loop makes), then
+instances are fanned out over a ``multiprocessing`` fork pool in chunks.
+Because every instance depends only on ``(config, index, instance_seed)``,
+a ``workers=N`` run is bit-identical to the serial one.  The engine falls
+back to the serial path when ``workers <= 1``, when the platform lacks
+``fork``, or when already inside a worker process.
 """
 
 from __future__ import annotations
 
+import functools
+import multiprocessing
+import os
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.faults.base import FAULT_NAMES, make_fault
 from repro.testbed.testbed import SessionRecord, Testbed, TestbedConfig
 from repro.video.catalog import VideoCatalog
+
+#: one scenario simulator: ``(config, index, instance_seed) -> SessionRecord``.
+#: Must be a module-level callable so a fork pool can dispatch it.
+InstanceFn = Callable[[object, int, int], SessionRecord]
+
+#: progress callback signature shared by all campaign runners.
+ProgressFn = Callable[[int, SessionRecord], None]
 
 
 @dataclass
@@ -41,54 +60,169 @@ class CampaignConfig:
     testbed_overrides: dict = field(default_factory=dict)
 
 
+# --------------------------------------------------------------- the engine
+
+
+def campaign_seeds(seed: int, n_instances: int) -> List[int]:
+    """The per-instance seed sequence a campaign RNG would draw serially."""
+    rng = random.Random(seed)
+    return [rng.randrange(2**31) for _ in range(n_instances)]
+
+
+def env_workers() -> int:
+    """The ``REPRO_WORKERS`` default, tolerating unset/garbage values.
+
+    A typo in an environment knob must not crash campaign code (or module
+    import); it degrades to serial with a warning.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer REPRO_WORKERS={raw!r}; running serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Worker count from an explicit value or the ``REPRO_WORKERS`` env."""
+    if workers is None:
+        return env_workers()
+    return max(1, int(workers))
+
+
+def _fork_context():
+    """A fork multiprocessing context, or ``None`` where unavailable."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _run_job(job: Tuple[InstanceFn, object, int, int]) -> SessionRecord:
+    instance_fn, config, index, instance_seed = job
+    return instance_fn(config, index, instance_seed)
+
+
+def iter_instances(
+    instance_fn: InstanceFn,
+    config,
+    seeds: Sequence[int],
+    progress: Optional[ProgressFn] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> Iterator[SessionRecord]:
+    """Yield one record per ``(index, seed)`` pair, in index order.
+
+    With ``workers > 1`` (and a fork-capable platform) instances are
+    dispatched to a process pool in chunks; results stream back in order
+    and ``progress`` fires in the parent, so callers cannot tell the two
+    modes apart except by wall clock.
+    """
+    n = len(seeds)
+    workers = min(resolve_workers(workers), max(1, n))
+    context = _fork_context() if workers > 1 else None
+    if multiprocessing.current_process().daemon:
+        context = None  # no nested pools inside a worker
+    if context is None or workers <= 1:
+        for index, instance_seed in enumerate(seeds):
+            record = instance_fn(config, index, instance_seed)
+            if progress is not None:
+                progress(index, record)
+            yield record
+        return
+    if chunksize is None:
+        # Small chunks keep the pool load-balanced (instances are seconds
+        # each) while still amortising dispatch for large campaigns.
+        chunksize = max(1, min(4, n // (workers * 4)))
+    jobs = [(instance_fn, config, index, seed) for index, seed in enumerate(seeds)]
+    with context.Pool(processes=workers) as pool:
+        for index, record in enumerate(pool.imap(_run_job, jobs, chunksize=chunksize)):
+            if progress is not None:
+                progress(index, record)
+            yield record
+
+
+@functools.lru_cache(maxsize=8)
+def _catalog(
+    size: int, duration_range: tuple, hd_fraction: float, seed: int
+) -> VideoCatalog:
+    """Per-process catalog cache: identical in every worker (pure of seed)."""
+    return VideoCatalog(
+        size=size,
+        duration_range=duration_range,
+        hd_fraction=hd_fraction,
+        seed=seed,
+    )
+
+
+# ------------------------------------------------- the controlled campaign
+
+
+def _controlled_instance(
+    config: CampaignConfig, index: int, instance_seed: int
+) -> SessionRecord:
+    """Simulate one scenario instance; pure function of its arguments."""
+    catalog = _catalog(
+        config.catalog_size,
+        tuple(config.video_duration_range),
+        config.hd_fraction,
+        config.seed ^ 0x5EED,
+    )
+    scenario_rng = random.Random(instance_seed)
+    server_mode = config.server_mode
+    if server_mode == "mixed":
+        server_mode = scenario_rng.choice(("apache", "youtube"))
+    testbed = Testbed(
+        TestbedConfig(
+            seed=instance_seed,
+            wan_profile=config.wan_profile,
+            server_mode=server_mode,
+            **config.testbed_overrides,
+        )
+    )
+    profile = catalog.pick(scenario_rng)
+    fault = None
+    if scenario_rng.random() >= config.healthy_fraction:
+        name = scenario_rng.choice(list(config.faults))
+        severity = (
+            "mild"
+            if scenario_rng.random() < config.mild_fraction
+            else "severe"
+        )
+        fault = make_fault(name, severity, scenario_rng)
+    record = testbed.run_video_session(profile, fault=fault)
+    record.meta["instance_index"] = index
+    record.meta["instance_seed"] = instance_seed
+    testbed.shutdown()
+    return record
+
+
 def iter_campaign(
     config: CampaignConfig,
-    progress: Optional[Callable[[int, SessionRecord], None]] = None,
+    progress: Optional[ProgressFn] = None,
+    workers: Optional[int] = None,
 ):
     """Yield one :class:`SessionRecord` per scenario instance."""
-    rng = random.Random(config.seed)
-    catalog = VideoCatalog(
-        size=config.catalog_size,
-        duration_range=config.video_duration_range,
-        hd_fraction=config.hd_fraction,
-        seed=config.seed ^ 0x5EED,
+    seeds = campaign_seeds(config.seed, config.n_instances)
+    yield from iter_instances(
+        _controlled_instance, config, seeds, progress=progress, workers=workers
     )
-    for index in range(config.n_instances):
-        instance_seed = rng.randrange(2**31)
-        scenario_rng = random.Random(instance_seed)
-        server_mode = config.server_mode
-        if server_mode == "mixed":
-            server_mode = scenario_rng.choice(("apache", "youtube"))
-        testbed = Testbed(
-            TestbedConfig(
-                seed=instance_seed,
-                wan_profile=config.wan_profile,
-                server_mode=server_mode,
-                **config.testbed_overrides,
-            )
-        )
-        profile = catalog.pick(scenario_rng)
-        fault = None
-        if scenario_rng.random() >= config.healthy_fraction:
-            name = scenario_rng.choice(list(config.faults))
-            severity = (
-                "mild"
-                if scenario_rng.random() < config.mild_fraction
-                else "severe"
-            )
-            fault = make_fault(name, severity, scenario_rng)
-        record = testbed.run_video_session(profile, fault=fault)
-        record.meta["instance_index"] = index
-        record.meta["instance_seed"] = instance_seed
-        testbed.shutdown()
-        if progress is not None:
-            progress(index, record)
-        yield record
 
 
 def run_campaign(
     config: CampaignConfig,
-    progress: Optional[Callable[[int, SessionRecord], None]] = None,
+    progress: Optional[ProgressFn] = None,
+    workers: Optional[int] = None,
 ) -> List[SessionRecord]:
-    """Collect the full campaign into a list of records."""
-    return list(iter_campaign(config, progress=progress))
+    """Collect the full campaign into a list of records.
+
+    ``workers`` fans instances out over a process pool (default: the
+    ``REPRO_WORKERS`` environment variable, else serial); results are
+    identical to a serial run for the same config.
+    """
+    return list(iter_campaign(config, progress=progress, workers=workers))

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro.faults.base import make_fault
+from repro.testbed.campaign import _catalog, campaign_seeds, iter_instances
 from repro.testbed.testbed import SessionRecord, Testbed, TestbedConfig
 from repro.traffic.ditg import TrafficMix
 from repro.video.catalog import VideoCatalog
@@ -91,128 +92,145 @@ def _apply_mobility(testbed: Testbed, rng: random.Random) -> None:
     testbed.sim.schedule(2.0, wander)
 
 
+def _realworld_catalog(config) -> VideoCatalog:
+    return _catalog(
+        config.catalog_size,
+        tuple(config.video_duration_range),
+        0.5,
+        config.seed ^ 0x5EED,
+    )
+
+
+def _realworld_instance(
+    config: RealWorldConfig, index: int, instance_seed: int
+) -> SessionRecord:
+    """One induced-fault corporate-WiFi session (pure of its arguments)."""
+    catalog = _realworld_catalog(config)
+    scenario_rng = random.Random(instance_seed)
+    is_youtube = scenario_rng.random() < config.youtube_fraction
+    # Corporate WiFi: more contention and variance than the lab.
+    mix = TrafficMix(intensity=scenario_rng.uniform(0.8, 2.2))
+    testbed = Testbed(
+        TestbedConfig(
+            seed=instance_seed,
+            wan_profile="dsl",
+            server_mode="youtube" if is_youtube else "apache",
+            phone_rssi_range=(-70.0, -45.0),
+            background_intensity_range=(0.8, 2.2),
+            traffic_mix=mix,
+        )
+    )
+    if config.mobility:
+        _apply_mobility(testbed, scenario_rng)
+    profile = catalog.pick(scenario_rng)
+    fault = None
+    if scenario_rng.random() >= config.healthy_fraction:
+        name = scenario_rng.choice(list(config.faults))
+        severity = (
+            "mild" if scenario_rng.random() < config.mild_fraction else "severe"
+        )
+        fault = make_fault(name, severity, scenario_rng)
+    record = testbed.run_video_session(profile, fault=fault)
+    record.meta["instance_index"] = index
+    record.meta["environment"] = "realworld-induced"
+    record.meta["service"] = "youtube" if is_youtube else "private"
+    testbed.shutdown()
+    return record
+
+
 def iter_realworld(
     config: RealWorldConfig,
     progress: Optional[Callable[[int, SessionRecord], None]] = None,
+    workers: Optional[int] = None,
 ):
-    rng = random.Random(config.seed)
-    catalog = VideoCatalog(
-        size=config.catalog_size,
-        duration_range=config.video_duration_range,
-        seed=config.seed ^ 0x5EED,
+    seeds = campaign_seeds(config.seed, config.n_instances)
+    yield from iter_instances(
+        _realworld_instance, config, seeds, progress=progress, workers=workers
     )
-    for index in range(config.n_instances):
-        instance_seed = rng.randrange(2**31)
-        scenario_rng = random.Random(instance_seed)
-        is_youtube = scenario_rng.random() < config.youtube_fraction
-        # Corporate WiFi: more contention and variance than the lab.
-        mix = TrafficMix(intensity=scenario_rng.uniform(0.8, 2.2))
-        testbed = Testbed(
-            TestbedConfig(
-                seed=instance_seed,
-                wan_profile="dsl",
-                server_mode="youtube" if is_youtube else "apache",
-                phone_rssi_range=(-70.0, -45.0),
-                background_intensity_range=(0.8, 2.2),
-                traffic_mix=mix,
-            )
-        )
-        if config.mobility:
-            _apply_mobility(testbed, scenario_rng)
-        profile = catalog.pick(scenario_rng)
-        fault = None
-        if scenario_rng.random() >= config.healthy_fraction:
-            name = scenario_rng.choice(list(config.faults))
-            severity = (
-                "mild" if scenario_rng.random() < config.mild_fraction else "severe"
-            )
-            fault = make_fault(name, severity, scenario_rng)
-        record = testbed.run_video_session(profile, fault=fault)
-        record.meta["instance_index"] = index
-        record.meta["environment"] = "realworld-induced"
-        record.meta["service"] = "youtube" if is_youtube else "private"
-        testbed.shutdown()
-        if progress is not None:
-            progress(index, record)
-        yield record
 
 
 def run_realworld_campaign(
     config: Optional[RealWorldConfig] = None,
     progress: Optional[Callable[[int, SessionRecord], None]] = None,
+    workers: Optional[int] = None,
 ) -> List[SessionRecord]:
-    return list(iter_realworld(config or RealWorldConfig(), progress=progress))
+    return list(
+        iter_realworld(config or RealWorldConfig(), progress=progress, workers=workers)
+    )
+
+
+def _wild_instance(config: WildConfig, index: int, instance_seed: int) -> SessionRecord:
+    """One uncontrolled 3G/WiFi session (pure of its arguments)."""
+    catalog = _realworld_catalog(config)
+    fault_names = list(config.fault_weights)
+    weights = [config.fault_weights[n] for n in fault_names]
+    scenario_rng = random.Random(instance_seed)
+    cellular = scenario_rng.random() < config.cellular_fraction
+    is_youtube = scenario_rng.random() < config.youtube_fraction
+    testbed = Testbed(
+        TestbedConfig(
+            seed=instance_seed,
+            wan_profile="mobile" if cellular else "dsl",
+            server_mode="youtube" if is_youtube else "apache",
+            phone_rssi_range=(-75.0, -45.0),
+            background_intensity_range=(0.5, 2.5),
+        )
+    )
+    if cellular:
+        # On a cellular path the WiFi leg of the shared topology merely
+        # stands in for the radio bearer: keep it clean and model the
+        # access variability on the WAN side instead.  Table 3 gives
+        # the cellular loss as 1.4 +/- 1%: draw each session's link
+        # quality from that band rather than pinning the mean, so
+        # good-coverage sessions exist.
+        testbed.phone_station.base_rssi = -50.0
+        loss = scenario_rng.uniform(0.002, 0.020)
+        testbed.wan_down.set_impairments(loss=loss)
+        testbed.wan_up.set_impairments(loss=loss * 0.3)
+        # 2015-era mobile players default to SD over cellular data.
+        profile = catalog.pick_sd(scenario_rng)
+    else:
+        _apply_mobility(testbed, scenario_rng)
+        profile = catalog.pick(scenario_rng)
+    fault = None
+    if scenario_rng.random() < config.fault_probability:
+        name = scenario_rng.choices(fault_names, weights=weights, k=1)[0]
+        severity = (
+            "mild" if scenario_rng.random() < config.mild_fraction else "severe"
+        )
+        fault = make_fault(name, severity, scenario_rng)
+    record = testbed.run_video_session(profile, fault=fault)
+    record.meta["instance_index"] = index
+    record.meta["environment"] = "wild"
+    record.meta["network"] = "3g" if cellular else "wifi"
+    record.meta["service"] = "youtube" if is_youtube else "private"
+    if cellular:
+        # No home router on a cellular path: the router VP is absent.
+        for name in [k for k in record.features if k.startswith("router_")]:
+            record.features[name] = 0.0
+        record.meta["router_vp_available"] = False
+    else:
+        record.meta["router_vp_available"] = True
+    testbed.shutdown()
+    return record
 
 
 def iter_wild(
     config: WildConfig,
     progress: Optional[Callable[[int, SessionRecord], None]] = None,
+    workers: Optional[int] = None,
 ):
-    rng = random.Random(config.seed)
-    catalog = VideoCatalog(
-        size=config.catalog_size,
-        duration_range=config.video_duration_range,
-        seed=config.seed ^ 0x5EED,
+    seeds = campaign_seeds(config.seed, config.n_instances)
+    yield from iter_instances(
+        _wild_instance, config, seeds, progress=progress, workers=workers
     )
-    fault_names = list(config.fault_weights)
-    weights = [config.fault_weights[n] for n in fault_names]
-    for index in range(config.n_instances):
-        instance_seed = rng.randrange(2**31)
-        scenario_rng = random.Random(instance_seed)
-        cellular = scenario_rng.random() < config.cellular_fraction
-        is_youtube = scenario_rng.random() < config.youtube_fraction
-        testbed = Testbed(
-            TestbedConfig(
-                seed=instance_seed,
-                wan_profile="mobile" if cellular else "dsl",
-                server_mode="youtube" if is_youtube else "apache",
-                phone_rssi_range=(-75.0, -45.0),
-                background_intensity_range=(0.5, 2.5),
-            )
-        )
-        if cellular:
-            # On a cellular path the WiFi leg of the shared topology merely
-            # stands in for the radio bearer: keep it clean and model the
-            # access variability on the WAN side instead.  Table 3 gives
-            # the cellular loss as 1.4 +/- 1%: draw each session's link
-            # quality from that band rather than pinning the mean, so
-            # good-coverage sessions exist.
-            testbed.phone_station.base_rssi = -50.0
-            loss = scenario_rng.uniform(0.002, 0.020)
-            testbed.wan_down.set_impairments(loss=loss)
-            testbed.wan_up.set_impairments(loss=loss * 0.3)
-            # 2015-era mobile players default to SD over cellular data.
-            profile = catalog.pick_sd(scenario_rng)
-        else:
-            _apply_mobility(testbed, scenario_rng)
-            profile = catalog.pick(scenario_rng)
-        fault = None
-        if scenario_rng.random() < config.fault_probability:
-            name = scenario_rng.choices(fault_names, weights=weights, k=1)[0]
-            severity = (
-                "mild" if scenario_rng.random() < config.mild_fraction else "severe"
-            )
-            fault = make_fault(name, severity, scenario_rng)
-        record = testbed.run_video_session(profile, fault=fault)
-        record.meta["instance_index"] = index
-        record.meta["environment"] = "wild"
-        record.meta["network"] = "3g" if cellular else "wifi"
-        record.meta["service"] = "youtube" if is_youtube else "private"
-        if cellular:
-            # No home router on a cellular path: the router VP is absent.
-            for name in [k for k in record.features if k.startswith("router_")]:
-                record.features[name] = 0.0
-            record.meta["router_vp_available"] = False
-        else:
-            record.meta["router_vp_available"] = True
-        testbed.shutdown()
-        if progress is not None:
-            progress(index, record)
-        yield record
 
 
 def run_wild_campaign(
     config: Optional[WildConfig] = None,
     progress: Optional[Callable[[int, SessionRecord], None]] = None,
+    workers: Optional[int] = None,
 ) -> List[SessionRecord]:
-    return list(iter_wild(config or WildConfig(), progress=progress))
+    return list(
+        iter_wild(config or WildConfig(), progress=progress, workers=workers)
+    )

@@ -59,7 +59,7 @@ def test_campaign_roundtrip(tmp_path, capsys, monkeypatch):
     # Keep the CLI test fast: patch the dataset builder.
     import repro.cli as cli
 
-    def tiny(kind, instances):
+    def tiny(kind, instances, workers=None):
         from repro.core.dataset import Dataset, Instance
         return Dataset([
             Instance(features={"mobile_tcp_pkts": 1.0},
@@ -88,6 +88,64 @@ def test_report_command(dataset_file, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "Fleet QoE report" in out
+
+
+def test_diagnose_batch_matches_loop(dataset_file, capsys):
+    args = ["diagnose", "--train", dataset_file, "--dataset", dataset_file,
+            "--vps", "mobile", "--limit", "6"]
+    assert main(args) == 0
+    looped = capsys.readouterr().out
+    assert main(args + ["--batch"]) == 0
+    batched = capsys.readouterr().out
+    assert batched == looped
+
+
+def test_diagnose_json_output(dataset_file, capsys):
+    import json
+
+    rc = main([
+        "diagnose", "--train", dataset_file, "--dataset", dataset_file,
+        "--vps", "mobile", "--limit", "3", "--batch", "--json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 3
+    for entry in payload:
+        assert entry["severity"] in ("good", "mild", "severe")
+        assert "truth" in entry and "summary" in entry
+
+
+def test_report_json_output(dataset_file, capsys):
+    import json
+
+    rc = main(["report", "--train", dataset_file, "--dataset", dataset_file,
+               "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_sessions"] > 0
+    assert "severity_counts" in payload
+
+
+def test_campaign_accepts_workers(tmp_path, monkeypatch):
+    out_path = tmp_path / "out.pkl"
+    import repro.cli as cli
+
+    seen = {}
+
+    def tiny(kind, instances, workers=None):
+        seen["workers"] = workers
+        from repro.core.dataset import Dataset, Instance
+        return Dataset([
+            Instance(features={"mobile_tcp_pkts": 1.0},
+                     labels={"severity": "good", "location": "good",
+                             "exact": "good", "existence": "good"})
+        ])
+
+    monkeypatch.setattr(cli, "_default_dataset", tiny)
+    rc = main(["campaign", "--kind", "controlled", "--workers", "2",
+               "--out", str(out_path)])
+    assert rc == 0
+    assert seen["workers"] == 2
 
 
 def test_diagnose_explain_flag(dataset_file, capsys):

@@ -88,6 +88,80 @@ def test_constructed_names_listed(dataset):
     assert "mobile_link_rx_util" in names
 
 
+class TestTransformRows:
+    def test_matches_per_dict_transform(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        rows = [inst.features for inst in dataset]
+        matrix, names = fc.transform_rows(rows)
+        for i, row in enumerate(rows):
+            expected = fc.transform_features(row)
+            got = dict(zip(names, matrix[i]))
+            for name, value in expected.items():
+                assert got[name] == pytest.approx(value), name
+
+    def test_session_duration_normalisation(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        rows = [inst.features for inst in dataset]
+        matrix, names = fc.transform_rows(rows, session_s=[20.0, 0.0, 30.0])
+        col = names.index("mobile_tcp_flow_duration_norm")
+        assert matrix[0, col] == pytest.approx(15.0 / 20.0)
+        assert matrix[1, col] == 0.0  # unknown duration: no normalisation
+        assert matrix[2, col] == pytest.approx(15.0 / 30.0)
+
+    def test_heterogeneous_rows_zero_filled(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        rows = [dict(dataset[0].features), {"mobile_hw_cpu_avg": 0.9}]
+        matrix, names = fc.transform_rows(rows)
+        got = dict(zip(names, matrix[1]))
+        assert got["mobile_hw_cpu_avg"] == 0.9
+        assert got["mobile_tcp_s2c_retx_pkts"] == 0.0
+        assert got["mobile_tcp_s2c_retx_pkts_norm"] == 0.0
+
+    def test_empty_batch(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        matrix, names = fc.transform_rows([])
+        assert matrix.shape == (0, 0) and names == []
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            FeatureConstructor().transform_rows([{"mobile_hw_cpu_avg": 1.0}])
+
+    def test_on_real_campaign_matches(self, mini_dataset):
+        fc = FeatureConstructor().fit(mini_dataset)
+        rows = [inst.features for inst in mini_dataset.instances[:5]]
+        matrix, names = fc.transform_rows(rows)
+        for i, row in enumerate(rows):
+            expected = fc.transform_features(row)
+            got = dict(zip(names, matrix[i]))
+            for name, value in expected.items():
+                assert got[name] == pytest.approx(value), name
+
+
+class TestStateRoundTrip:
+    def test_round_trip(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        clone = FeatureConstructor.from_state(fc.to_state())
+        assert clone.fitted
+        assert clone.nic_max_rates == fc.nic_max_rates
+        live = make_instance(16e6).features
+        assert clone.transform_features(live) == fc.transform_features(live)
+
+    def test_state_is_json_safe(self, dataset):
+        import json
+
+        fc = FeatureConstructor().fit(dataset)
+        payload = json.loads(json.dumps(fc.to_state()))
+        assert FeatureConstructor.from_state(payload).nic_max_rates == fc.nic_max_rates
+
+    def test_unfit_state_rejected(self):
+        with pytest.raises(RuntimeError):
+            FeatureConstructor().to_state()
+
+    def test_bad_state_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureConstructor.from_state({"format": "something-else"})
+
+
 def test_on_real_campaign(mini_dataset):
     fc = FeatureConstructor().fit(mini_dataset)
     out = fc.transform(mini_dataset)

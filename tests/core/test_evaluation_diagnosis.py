@@ -61,7 +61,7 @@ class TestRootCauseAnalyzer:
 
     def test_fit_and_diagnose_records(self, mini_dataset):
         analyzer = RootCauseAnalyzer(vps=("mobile",)).fit(mini_dataset)
-        report = analyzer.diagnose_record(mini_dataset[0])
+        report = analyzer.diagnose(mini_dataset[0])
         assert isinstance(report, DiagnosisReport)
         assert report.severity in ("good", "mild", "severe")
         assert isinstance(report.summary(), str)
@@ -69,7 +69,7 @@ class TestRootCauseAnalyzer:
     def test_training_set_mostly_rediagnosed(self, mini_dataset):
         analyzer = RootCauseAnalyzer().fit(mini_dataset)
         correct = sum(
-            analyzer.diagnose_record(inst).severity == inst.label("severity")
+            analyzer.diagnose(inst).severity == inst.label("severity")
             for inst in mini_dataset
         )
         assert correct / len(mini_dataset) > 0.8

@@ -28,7 +28,7 @@ def test_diagnosis_with_missing_vantage_point(mini_dataset):
     analyzer = RootCauseAnalyzer().fit(mini_dataset)
     for inst in mini_dataset.instances[:8]:
         degraded = _degrade(inst, "router_")
-        report = analyzer.diagnose_record(degraded)
+        report = analyzer.diagnose(degraded)
         assert report.severity in ("good", "mild", "severe")
 
 

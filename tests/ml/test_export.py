@@ -63,8 +63,8 @@ def test_analyzer_save_load_roundtrip(tmp_path, mini_dataset):
     clone = RootCauseAnalyzer.load(path)
     assert clone.vps == ("mobile",)
     for inst in mini_dataset.instances[:10]:
-        original = analyzer.diagnose_record(inst)
-        loaded = clone.diagnose_record(inst)
+        original = analyzer.diagnose(inst)
+        loaded = clone.diagnose(inst)
         assert loaded.severity == original.severity
         assert loaded.exact == original.exact
         assert loaded.location == original.location

@@ -86,6 +86,6 @@ def test_analyzer_explain(mini_dataset):
     inst = mini_dataset[0]
     label, path = analyzer.explain(inst.features,
                                    session_s=inst.meta.get("session_s"))
-    assert label == analyzer.diagnose_record(inst).exact
+    assert label == analyzer.diagnose(inst).exact
     for cond in path:
         assert cond.feature.startswith("mobile_")

@@ -52,5 +52,5 @@ def test_lab_model_diagnoses_abr_sessions(mini_dataset):
 
     analyzer = RootCauseAnalyzer(vps=("mobile",)).fit(mini_dataset)
     record = run_abr(seed=63)
-    report = analyzer.diagnose_record(record)
+    report = analyzer.diagnose(record)
     assert report.severity in ("good", "mild", "severe")
