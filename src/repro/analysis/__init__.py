@@ -1,0 +1,48 @@
+"""Project-invariant static analysis (``repro lint``).
+
+Three AST passes protect the invariants the reproduction depends on:
+
+* determinism (D1xx) — no unseeded RNG, wall-clock reads, or unordered
+  iteration in the simulation/campaign packages;
+* metric schema (M2xx) — probe-emitted and downstream-consumed metric
+  names must agree (the silent-zero-fill hazard);
+* fault lifecycle (F3xx) — every concrete fault pairs inject/teardown,
+  maintains the ``active`` flag, and declares its vantage-point scope.
+
+Library use::
+
+    from repro.analysis import lint_paths
+    result = lint_paths([Path("src/repro")], baseline_path=Path("lint-baseline.json"))
+    assert result.ok, result.summary()
+"""
+
+from repro.analysis.baseline import load_baseline, save_baseline
+from repro.analysis.determinism import check_determinism
+from repro.analysis.findings import Finding, RULES, Rule, rule_catalog
+from repro.analysis.lifecycle import VALID_VANTAGE_POINTS, check_lifecycle
+from repro.analysis.runner import (
+    LintResult,
+    lint_paths,
+    render_text,
+    rule_table,
+)
+from repro.analysis.schema import check_schema
+from repro.analysis.suppressions import parse_suppressions
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "VALID_VANTAGE_POINTS",
+    "check_determinism",
+    "check_lifecycle",
+    "check_schema",
+    "lint_paths",
+    "load_baseline",
+    "parse_suppressions",
+    "render_text",
+    "rule_catalog",
+    "rule_table",
+    "save_baseline",
+]

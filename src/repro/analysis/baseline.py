@@ -1,0 +1,62 @@
+"""Committed finding baselines for ``repro lint``.
+
+The baseline is the ratchet: CI fails only on findings *not* in the
+committed file, so a clean tree stays clean while historical debt (if
+any) is paid down explicitly.  Entries are keyed by fingerprint — a hash
+of ``(path, rule, source line text, occurrence)`` — so unrelated edits
+that renumber lines do not invalidate the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+FORMAT = "repro-lint-baseline-v1"
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Accepted fingerprints from a baseline file (empty set if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    if data.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a {FORMAT} file")
+    return {str(entry["fingerprint"]) for entry in data.get("entries", [])}
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> Dict[str, object]:
+    """Write the gating findings as the new accepted baseline."""
+    entries = [
+        {
+            "fingerprint": finding.fingerprint(),
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in findings
+        if finding.gating
+    ]
+    payload: Dict[str, object] = {"format": FORMAT, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def split_by_baseline(
+    findings: List[Finding], accepted: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition gating findings into (new, baselined)."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if not finding.gating:
+            continue
+        if finding.fingerprint() in accepted:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,236 @@
+"""Lint driver: file discovery, pass routing, reporting.
+
+``lint_paths`` is the library entry point (the CLI's ``repro lint`` is a
+thin wrapper).  Pass routing is by package-relative location:
+
+* determinism (D1xx) runs on ``simnet/``, ``faults/``, ``testbed/``,
+  ``traffic/`` and ``video/`` — the modules that feed campaign records;
+* the metric-schema pass (M2xx) collects producers from ``probes/`` and
+  consumers from the feature-construction / selection / diagnosis /
+  export modules, then matches the two sides globally;
+* the fault-lifecycle pass (F3xx) runs on ``faults/``.
+
+Paths outside the ``repro`` package (e.g. test fixture trees) are routed
+by their top-level directory relative to the lint root, so the passes are
+testable on synthetic trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.baseline import load_baseline, split_by_baseline
+from repro.analysis.determinism import check_determinism
+from repro.analysis.findings import (
+    Finding,
+    RULES,
+    assign_occurrences,
+    sort_findings,
+)
+from repro.analysis.lifecycle import check_lifecycle
+from repro.analysis.schema import check_schema
+from repro.analysis.suppressions import apply_suppressions, parse_suppressions
+
+#: packages whose modules must stay deterministic
+DETERMINISM_PACKAGES = ("simnet", "faults", "testbed", "traffic", "video")
+
+#: package whose modules produce the metric namespace
+PRODUCER_PACKAGE = "probes"
+
+#: modules that consume metric names (package-relative posix paths)
+CONSUMER_MODULES = (
+    "core/construction.py",
+    "core/diagnosis.py",
+    "core/selection.py",
+    "core/vantage.py",
+    "ml/fcbf.py",
+    "ml/export.py",
+)
+
+#: package whose classes the lifecycle pass inspects
+LIFECYCLE_PACKAGE = "faults"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run learned."""
+
+    findings: List[Finding] = field(default_factory=list)
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    notes: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    parse_errors: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    namespace: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings and not self.parse_errors
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.files_checked} files",
+            f"{len(self.new_findings)} new",
+            f"{len(self.baselined)} baselined",
+            f"{len(self.suppressed)} suppressed",
+            f"{len(self.notes)} notes",
+        ]
+        if self.parse_errors:
+            parts.append(f"{len(self.parse_errors)} parse errors")
+        return ", ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "new": [f.to_dict() for f in self.new_findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "notes": [f.to_dict() for f in self.notes],
+            "parse_errors": list(self.parse_errors),
+            "namespace": {
+                key: sorted(value) for key, value in self.namespace.items()
+            },
+        }
+
+
+def _discover(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # dedupe, keep order
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file)
+    return unique
+
+
+def package_relative(path: Path, root: Path) -> str:
+    """Posix path relative to the ``repro`` package (or the lint root)."""
+    parts = list(path.resolve().parts)
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        rel = parts[index + 1:]
+        if rel:
+            return "/".join(rel)
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def display_path(path: Path, root: Path) -> str:
+    """The path findings report: relative to the lint root when possible."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _top_package(rel: str) -> str:
+    return rel.split("/", 1)[0] if "/" in rel else ""
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+) -> LintResult:
+    """Run every pass over ``paths`` and gate against the baseline."""
+    paths = [Path(p) for p in paths]
+    root = Path.cwd() if root is None else Path(root)
+    if baseline_path is not None:
+        baseline_path = Path(baseline_path)
+    result = LintResult()
+    files = _discover(paths)
+    result.files_checked = len(files)
+
+    producer_sources: Dict[str, str] = {}
+    consumer_sources: Dict[str, str] = {}
+    raw: List[Finding] = []
+    suppressions_by_path: Dict[str, Dict[int, Set[str]]] = {}
+
+    for file in files:
+        rel = package_relative(file, root)
+        shown = display_path(file, root)
+        try:
+            source = file.read_text()
+        except OSError as exc:
+            result.parse_errors.append(f"{shown}: unreadable ({exc})")
+            continue
+        try:
+            ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            result.parse_errors.append(f"{shown}:{exc.lineno}: syntax error")
+            continue
+        suppressions_by_path[shown] = parse_suppressions(source)
+
+        top = _top_package(rel)
+        if top in DETERMINISM_PACKAGES:
+            raw.extend(check_determinism(shown, source))
+        if top == LIFECYCLE_PACKAGE:
+            raw.extend(check_lifecycle(shown, source))
+        if top == PRODUCER_PACKAGE:
+            producer_sources[shown] = source
+        if rel in CONSUMER_MODULES:
+            consumer_sources[shown] = source
+
+    if producer_sources or consumer_sources:
+        schema_findings, namespace = check_schema(
+            producer_sources, consumer_sources
+        )
+        raw.extend(schema_findings)
+        result.namespace = namespace
+
+    for finding in raw:
+        allowed = suppressions_by_path.get(finding.path, {})
+        apply_suppressions([finding], allowed)
+
+    assign_occurrences(raw)
+    result.findings = sort_findings(raw)
+    result.suppressed = [f for f in result.findings if f.suppressed]
+    result.notes = [
+        f for f in result.findings
+        if not f.suppressed and f.severity == "note"
+    ]
+
+    accepted = load_baseline(baseline_path) if baseline_path else set()
+    result.new_findings, result.baselined = split_by_baseline(
+        result.findings, accepted
+    )
+    return result
+
+
+def render_text(result: LintResult, show_notes: bool = False) -> str:
+    """Human-readable report, one finding per line."""
+    lines: List[str] = []
+    for error in result.parse_errors:
+        lines.append(f"{error}")
+    for finding in result.new_findings:
+        lines.append(finding.render())
+    if show_notes:
+        for finding in result.notes:
+            lines.append(finding.render())
+    lines.append(f"repro lint: {result.summary()}")
+    lines.append("result: " + ("clean" if result.ok else "FINDINGS"))
+    return "\n".join(lines)
+
+
+def rule_table() -> List[Tuple[str, str, str, str]]:
+    """(id, name, severity, summary) rows for docs and ``--rules``."""
+    return [
+        (rule.id, rule.name, rule.severity, rule.summary)
+        for rule in (RULES[rule_id] for rule_id in sorted(RULES))
+    ]

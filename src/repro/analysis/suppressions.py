@@ -1,0 +1,45 @@
+"""``# repro: allow[RULE]`` inline suppressions.
+
+A finding is suppressed when the physical line it is anchored to carries a
+suppression comment naming its rule id (or ``*``).  Multiple rules may be
+listed comma-separated::
+
+    value = rng.choice(options)  # repro: allow[D101,D104]
+
+Suppressions are per-line and per-rule on purpose: a file-wide opt-out
+would defeat the baseline workflow.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from repro.analysis.findings import Finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[\s*(?P<rules>[A-Za-z0-9_*,\s-]+?)\s*\]"
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of rule ids allowed on that line."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        allowed[lineno] = {rule for rule in rules if rule}
+    return allowed
+
+
+def apply_suppressions(
+    findings: List[Finding], allowed: Dict[int, Set[str]]
+) -> List[Finding]:
+    """Mark findings whose line carries a matching allow comment."""
+    for finding in findings:
+        rules = allowed.get(finding.line)
+        if rules and (finding.rule in rules or "*" in rules):
+            finding.suppressed = True
+    return findings

@@ -14,6 +14,10 @@ Commands
     one human-readable report line per session (or JSON with ``--json``;
     ``--batch`` routes all sessions through the vectorized
     ``diagnose_batch`` path).
+``lint``
+    Static analysis of the project's own invariants (determinism,
+    metric-schema consistency, fault lifecycle).  Exits non-zero on any
+    finding not in the committed baseline.
 
 Campaign simulation parallelises over ``--workers`` processes (or the
 ``REPRO_WORKERS`` environment variable); records are identical to a
@@ -29,6 +33,7 @@ Examples
     python -m repro evaluate --experiment fig3 --dataset lab.pkl
     python -m repro diagnose --train lab.pkl --vps mobile --limit 5
     python -m repro diagnose --train lab.pkl --batch --json
+    python -m repro lint src/repro --baseline lint-baseline.json
 """
 
 from __future__ import annotations
@@ -171,6 +176,49 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import (
+        lint_paths,
+        render_text,
+        rule_table,
+        save_baseline,
+    )
+
+    if args.rules:
+        for rule_id, name, severity, summary in rule_table():
+            print(f"{rule_id}  {severity:<7} {name:<28} {summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        default = Path("src/repro")
+        paths = [default if default.is_dir() else Path(".")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(f"no such path: {', '.join(map(str, missing))}")
+
+    baseline = Path(args.baseline) if args.baseline else None
+    if baseline is None:
+        candidate = Path("lint-baseline.json")
+        baseline = candidate if candidate.exists() else None
+
+    result = lint_paths(paths, root=Path.cwd(), baseline_path=baseline)
+
+    if args.update_baseline:
+        target = baseline or Path("lint-baseline.json")
+        payload = save_baseline(target, result.findings)
+        print(f"wrote {len(payload['entries'])} entries to {target}")
+        return 0
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(render_text(result, show_notes=args.notes))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -216,6 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="workers for simulating the default training set")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("lint", help="static analysis of project invariants")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to check (default: src/repro)")
+    p.add_argument("--baseline",
+                   help="accepted-findings file (default: lint-baseline.json "
+                        "in the current directory, if present)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="accept all current findings into the baseline file")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as machine-readable JSON")
+    p.add_argument("--notes", action="store_true",
+                   help="also print note-severity findings (e.g. M202)")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(fn=cmd_lint)
     return parser
 
 

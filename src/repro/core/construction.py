@@ -18,6 +18,7 @@ instance (including live ones at diagnosis time).
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,9 +48,10 @@ _FLOW_DURATION_VPS = ("mobile", "router", "server")
 class FeatureConstructor:
     """Adds the paper's constructed features to every instance."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._nic_max_rates: Dict[str, float] = {}
         self.fitted = False
+        self._warned_zero_fill = False
 
     # ------------------------------------------------------------------- fit
 
@@ -109,7 +111,9 @@ class FeatureConstructor:
         ``names`` labels the columns.  Missing raw features are zero-filled,
         which matches the zero-default lookup the diagnosis path applies to
         single dicts, so batch and per-dict construction agree feature for
-        feature.
+        feature.  The first time a batch zero-fills anything, a
+        ``RuntimeWarning`` lists the affected feature names — a typo'd or
+        renamed metric must not silently become a column of zeros.
 
         ``session_s`` optionally gives the video-session duration per row;
         rows with a positive duration gain the ``*_tcp_flow_duration_norm``
@@ -123,6 +127,7 @@ class FeatureConstructor:
             return np.zeros((0, 0)), []
 
         # -- gather the raw matrix ------------------------------------------
+        zero_filled: set = set()
         first_keys = tuple(rows[0])
         if all(map(first_keys.__eq__, map(tuple, rows))):
             # homogeneous batch (the common fleet case): one C-level copy
@@ -143,6 +148,8 @@ class FeatureConstructor:
             for i, row in enumerate(rows):
                 for name, value in row.items():
                     base[i, index[name]] = value
+                if len(row) != len(names):
+                    zero_filled.update(name_set.difference(row))
         col = {name: j for j, name in enumerate(names)}
 
         constructed: List[Tuple[str, np.ndarray]] = []
@@ -174,6 +181,7 @@ class FeatureConstructor:
                     with np.errstate(divide="ignore", invalid="ignore"):
                         norm = np.where(total > 0, values / np.where(total > 0, total, 1.0), 0.0)
                 else:
+                    zero_filled.add(total_name)
                     norm = np.zeros(n)
                 emit(f"{name}_norm", norm)
 
@@ -202,6 +210,16 @@ class FeatureConstructor:
             names = names + [name for name, _values in constructed]
         else:
             matrix = base
+        # getattr: constructors revived from older pickles predate the flag
+        if zero_filled and not getattr(self, "_warned_zero_fill", False):
+            self._warned_zero_fill = True
+            warnings.warn(
+                "transform_rows zero-filled features missing from the input "
+                f"rows: {sorted(zero_filled)}; check the metric names "
+                "against the probe schema (repro lint rule M201)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return matrix, names
 
     def transform_instance(self, inst: Instance, session_s: Optional[float] = None) -> Instance:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +31,7 @@ class Instance:
 class Dataset:
     """A list of instances with a consistent feature-name universe."""
 
-    def __init__(self, instances: Sequence[Instance]):
+    def __init__(self, instances: Sequence[Instance]) -> None:
         self.instances: List[Instance] = list(instances)
         names = set()
         for inst in self.instances:
@@ -68,7 +68,7 @@ class Dataset:
     def __len__(self) -> int:
         return len(self.instances)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Instance]:
         return iter(self.instances)
 
     def __getitem__(self, index: int) -> Instance:

@@ -105,7 +105,7 @@ class DiagnosisReport:
             "summary": self.summary(),
         }
 
-    def to_json(self, **kwargs) -> str:
+    def to_json(self, **kwargs: object) -> str:
         """The diagnosis as a JSON string (``kwargs`` go to ``json.dumps``)."""
         return json.dumps(self.to_dict(), **kwargs)
 
@@ -116,10 +116,10 @@ class RootCauseAnalyzer:
     def __init__(
         self,
         vps: Sequence[str] = ALL_VPS,
-        model_factory: Callable[[], object] = None,
+        model_factory: Optional[Callable[[], object]] = None,
         fs_delta: float = 0.01,
         select: bool = True,
-    ):
+    ) -> None:
         unknown = set(vps) - set(ALL_VPS)
         if unknown:
             raise ValueError(f"unknown vantage points: {sorted(unknown)}")
@@ -230,7 +230,7 @@ class RootCauseAnalyzer:
         }
         return self._make_report(predictions)
 
-    def diagnose_record(self, record) -> DiagnosisReport:
+    def diagnose_record(self, record: object) -> DiagnosisReport:
         """Deprecated alias: :meth:`diagnose` now accepts records directly."""
         warnings.warn(
             "diagnose_record() is deprecated; pass the record to diagnose()",
@@ -310,7 +310,7 @@ class RootCauseAnalyzer:
         features: Dict[str, float],
         task: str = "exact",
         session_s: Optional[float] = None,
-    ):
+    ) -> Tuple[str, List[object]]:
         """Why a session gets its label: the C4.5 decision path.
 
         Returns ``(label, [Condition, ...])``; each condition shows the
@@ -328,7 +328,7 @@ class RootCauseAnalyzer:
 
     # ------------------------------------------------------------ persistence
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, Path]) -> None:
         """Persist the trained pipeline as JSON (no pickled code).
 
         The ``repro-analyzer-v2`` export carries the per-task C4.5 trees,
@@ -358,7 +358,7 @@ class RootCauseAnalyzer:
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
-    def load(cls, path) -> "RootCauseAnalyzer":
+    def load(cls, path: Union[str, Path]) -> "RootCauseAnalyzer":
         """Reload an analyzer saved by :meth:`save` (v1 or v2 export)."""
         from repro.ml.export import tree_from_dict
 

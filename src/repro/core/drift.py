@@ -78,7 +78,7 @@ class DriftMonitor:
         features: Optional[Sequence[str]] = None,
         threshold: float = 0.35,
         retrain_share: float = 0.3,
-    ):
+    ) -> None:
         self.feature_names = list(features) if features else None
         self.threshold = threshold
         self.retrain_share = retrain_share

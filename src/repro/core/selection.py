@@ -18,7 +18,7 @@ from repro.ml.fcbf import fcbf
 class FeatureSelector:
     """FCBF wrapper bound to a label kind."""
 
-    def __init__(self, delta: float = 0.01, max_features: Optional[int] = None):
+    def __init__(self, delta: float = 0.01, max_features: Optional[int] = None) -> None:
         self.delta = delta
         self.max_features = max_features
         self.selected_: List[str] = []

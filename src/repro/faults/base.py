@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Type
+from typing import Dict, Optional, Tuple, Type
 
 #: canonical fault names as used in labels (Figure 4 of the paper)
 FAULT_NAMES = (
@@ -34,10 +34,17 @@ class Fault:
 
     Subclasses define ``MILD`` / ``SEVERE`` intensity bands and implement
     :meth:`apply` / :meth:`clear` against a
-    :class:`repro.testbed.testbed.Testbed`.
+    :class:`repro.testbed.testbed.Testbed`.  Each concrete fault also
+    declares ``VANTAGE_SCOPE``: the vantage points whose probes observe
+    the fault's distinguishing signature (Section 5.3 — e.g. only the
+    RSSI-equipped mobile/router VPs separate the wireless faults).
     """
 
     name: str = "abstract"
+
+    #: vantage points that observe this fault's signature; concrete
+    #: subclasses must override (enforced by ``repro lint`` rule F303).
+    VANTAGE_SCOPE: Tuple[str, ...] = ()
 
     def __init__(self, severity: str, rng: random.Random):
         if severity not in ("mild", "severe"):
@@ -50,6 +57,11 @@ class Fault:
     @property
     def location(self) -> str:
         return FAULT_LOCATIONS[self.name]
+
+    @property
+    def vantage_scope(self) -> Tuple[str, ...]:
+        """Vantage points whose probes see this fault's signature."""
+        return self.VANTAGE_SCOPE
 
     def band(self, mild: tuple, severe: tuple) -> float:
         """Draw an intensity uniformly from the band for this severity."""
@@ -84,5 +96,12 @@ class FaultRegistry:
 
 
 def make_fault(name: str, severity: str, rng: Optional[random.Random] = None) -> Fault:
-    """Instantiate a fault by its canonical name."""
-    return FaultRegistry.get(name)(severity, rng or random.Random())
+    """Instantiate a fault by its canonical name.
+
+    Callers inside a campaign must pass the scenario rng; the fallback is
+    seeded from the fault identity so even ad-hoc construction (tests,
+    REPL) stays reproducible run to run.
+    """
+    if rng is None:
+        rng = random.Random(f"fault/{name}/{severity}")
+    return FaultRegistry.get(name)(severity, rng)

@@ -21,6 +21,8 @@ class LanCongestion(Fault):
     """UDP wired-client -> router through the shared bridge."""
 
     name = "lan_congestion"
+    #: contention happens on the home bridge, invisible to the server's NIC
+    VANTAGE_SCOPE = ("mobile", "router")
 
     MILD_FRACTION = (0.55, 0.85)
     SEVERE_FRACTION = (0.85, 1.4)
@@ -56,6 +58,8 @@ class WanCongestion(Fault):
     """UDP between server and wired client across the WAN link."""
 
     name = "wan_congestion"
+    #: queueing on the shared WAN link shows up in TCP stats at every VP
+    VANTAGE_SCOPE = ("mobile", "router", "server")
 
     MILD_FRACTION = (0.5, 0.8)
     SEVERE_FRACTION = (0.85, 1.4)

@@ -17,6 +17,8 @@ class MobileLoad(Fault):
     """CPU + memory pressure on the phone."""
 
     name = "mobile_load"
+    #: only the phone's hardware probe sees CPU/memory pressure
+    VANTAGE_SCOPE = ("mobile",)
 
     MILD_CPU = (0.3, 0.5)
     SEVERE_CPU = (0.7, 0.92)

@@ -17,6 +17,8 @@ class WanShaping(Fault):
     """Cap and impair the WAN link (DSL / mobile profile)."""
 
     name = "wan_shaping"
+    #: the capped WAN link throttles TCP as seen from all three VPs
+    VANTAGE_SCOPE = ("mobile", "router", "server")
 
     MILD_RATE = (1.9e6, 2.9e6)
     SEVERE_RATE = (0.55e6, 1.6e6)
@@ -67,6 +69,8 @@ class LanShaping(Fault):
     """
 
     name = "lan_shaping"
+    #: PHY-rate drop with normal RSSI: a mobile/router-side signature
+    VANTAGE_SCOPE = ("mobile", "router")
 
     #: 802.11 PHY rates drawn per severity (bit/s)
     MILD_RATES = (2e6, 5.5e6)

@@ -27,6 +27,8 @@ class DnsMisconfiguration(Fault):
     """Resolver timeouts before the video connection can open."""
 
     name = "dns_misconfiguration"
+    #: the delayed connect is visible wherever the TCP handshake is seen
+    VANTAGE_SCOPE = ("mobile", "router", "server")
 
     MILD_DELAY_S = (3.0, 6.0)
     SEVERE_DELAY_S = (10.0, 25.0)
@@ -53,6 +55,8 @@ class MiddleboxInterference(Fault):
     """MSS clamping + SACK stripping at the router."""
 
     name = "middlebox_interference"
+    #: MSS clamping and SACK stripping distort TCP stats at every monitor
+    VANTAGE_SCOPE = ("mobile", "router", "server")
 
     MILD_MSS = (700, 1000)
     SEVERE_MSS = (400, 560)

@@ -20,6 +20,8 @@ class LowRssi(Fault):
     """Attenuate the phone's signal into a target RSSI band."""
 
     name = "low_rssi"
+    #: RSSI is only measured by the radio-equipped mobile/router VPs
+    VANTAGE_SCOPE = ("mobile", "router")
 
     MILD_RSSI = (-88.5, -85.0)
     SEVERE_RSSI = (-95.0, -91.0)
@@ -45,6 +47,8 @@ class WifiInterference(Fault):
     """Occupy the channel from an adjacent WLAN."""
 
     name = "wifi_interference"
+    #: airtime contention is a wireless-medium signature (Section 5.3)
+    VANTAGE_SCOPE = ("mobile", "router")
 
     MILD_DUTY = (0.55, 0.85)
     SEVERE_DUTY = (0.90, 0.97)

@@ -41,8 +41,8 @@ def stratified_kfold(
 
 def cross_validate(
     model_factory: Callable[[], object],
-    X,
-    y,
+    X: np.ndarray,
+    y: np.ndarray,
     k: int = 10,
     seed: int = 0,
     feature_names: Optional[Sequence[str]] = None,

@@ -10,7 +10,7 @@ Weka's FCBF-style filters operate.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,9 @@ def _entropy_from_counts(counts: np.ndarray) -> float:
     return float(-(p * np.log2(p)).sum())
 
 
-def _best_cut(sorted_vals: np.ndarray, one_hot: np.ndarray):
+def _best_cut(
+    sorted_vals: np.ndarray, one_hot: np.ndarray
+) -> Optional[Tuple[int, float]]:
     """Best boundary cut by class-entropy; returns (index, gain, stats).
 
     ``one_hot`` is (n, k) of class indicators aligned with ``sorted_vals``.
@@ -44,7 +46,7 @@ def _best_cut(sorted_vals: np.ndarray, one_hot: np.ndarray):
     ln = lc.sum(axis=1)
     rn = rc.sum(axis=1)
 
-    def ent(counts, sizes):
+    def ent(counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
         with np.errstate(divide="ignore", invalid="ignore"):
             p = counts / sizes[:, None]
             logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)

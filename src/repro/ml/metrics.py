@@ -8,7 +8,7 @@ instances in this class."
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -16,13 +16,13 @@ import numpy as np
 class ConfusionMatrix:
     """Accumulating confusion matrix over a fixed label set."""
 
-    def __init__(self, labels: Sequence):
+    def __init__(self, labels: Sequence) -> None:
         self.labels: List = list(labels)
         self._index = {label: i for i, label in enumerate(self.labels)}
         k = len(self.labels)
         self.matrix = np.zeros((k, k), dtype=np.int64)
 
-    def update(self, y_true, y_pred) -> None:
+    def update(self, y_true: Iterable, y_pred: Iterable) -> None:
         for t, p in zip(y_true, y_pred):
             ti = self._index.get(t)
             pi = self._index.get(p)
@@ -45,28 +45,28 @@ class ConfusionMatrix:
             return 0.0
         return float(np.trace(self.matrix)) / total
 
-    def precision(self, label) -> float:
+    def precision(self, label: object) -> float:
         i = self._index[label]
         predicted = self.matrix[:, i].sum()
         if predicted == 0:
             return 0.0
         return float(self.matrix[i, i]) / float(predicted)
 
-    def recall(self, label) -> float:
+    def recall(self, label: object) -> float:
         i = self._index[label]
         actual = self.matrix[i, :].sum()
         if actual == 0:
             return 0.0
         return float(self.matrix[i, i]) / float(actual)
 
-    def f1(self, label) -> float:
+    def f1(self, label: object) -> float:
         p = self.precision(label)
         r = self.recall(label)
         if p + r == 0:
             return 0.0
         return 2 * p * r / (p + r)
 
-    def support(self, label) -> int:
+    def support(self, label: object) -> int:
         return int(self.matrix[self._index[label], :].sum())
 
     # -- aggregates ------------------------------------------------------------

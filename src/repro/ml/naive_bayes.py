@@ -7,6 +7,8 @@ Support Vector Machines", Section 3.2).
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 _VAR_FLOOR = 1e-9
@@ -15,14 +17,19 @@ _VAR_FLOOR = 1e-9
 class GaussianNB:
     """Per-class Gaussian likelihoods with Laplace-smoothed priors."""
 
-    def __init__(self, var_smoothing: float = 1e-9):
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
         self.var_smoothing = var_smoothing
         self.classes_ = None
         self._means = None
         self._vars = None
         self._log_priors = None
 
-    def fit(self, X, y, feature_names=None) -> "GaussianNB":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> "GaussianNB":
         X = np.asarray(X, dtype=float)
         self.classes_, y_codes = np.unique(np.asarray(y), return_inverse=True)
         k = len(self.classes_)
@@ -41,7 +48,7 @@ class GaussianNB:
         self._log_priors = np.log((counts + 1.0) / (n + k))
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         if self._means is None:
             raise RuntimeError("model is not fitted")
         X = np.asarray(X, dtype=float)

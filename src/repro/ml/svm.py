@@ -8,6 +8,8 @@ prediction takes the highest margin.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 
@@ -19,7 +21,7 @@ class LinearSVM:
         lambda_reg: float = 1e-4,
         epochs: int = 20,
         seed: int = 0,
-    ):
+    ) -> None:
         self.lambda_reg = lambda_reg
         self.epochs = epochs
         self.seed = seed
@@ -32,7 +34,12 @@ class LinearSVM:
     def _standardize(self, X: np.ndarray) -> np.ndarray:
         return (X - self._mu) / self._sigma
 
-    def fit(self, X, y, feature_names=None) -> "LinearSVM":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> "LinearSVM":
         X = np.asarray(X, dtype=float)
         self.classes_, y_codes = np.unique(np.asarray(y), return_inverse=True)
         self._mu = X.mean(axis=0)
@@ -62,7 +69,7 @@ class LinearSVM:
             self._bias[c] = b
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         if self._weights is None:
             raise RuntimeError("model is not fitted")
         Xs = self._standardize(np.asarray(X, dtype=float))

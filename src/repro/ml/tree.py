@@ -16,7 +16,7 @@ Split search is vectorised with numpy so that training on the full
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ def _upper_error(n: float, e: float, z: float) -> float:
 class _Node:
     __slots__ = ("feature", "threshold", "left", "right", "counts", "prediction", "n")
 
-    def __init__(self, counts: np.ndarray):
+    def __init__(self, counts: np.ndarray) -> None:
         self.feature: Optional[int] = None
         self.threshold = 0.0
         self.left: Optional["_Node"] = None
@@ -72,7 +72,7 @@ class C45Tree:
         cf: float = 0.25,
         max_depth: Optional[int] = None,
         prune: bool = True,
-    ):
+    ) -> None:
         if min_leaf < 1:
             raise ValueError("min_leaf must be >= 1")
         self.min_leaf = min_leaf
@@ -90,8 +90,8 @@ class C45Tree:
 
     def fit(
         self,
-        X,
-        y,
+        X: np.ndarray,
+        y: np.ndarray,
         feature_names: Optional[Sequence[str]] = None,
     ) -> "C45Tree":
         X = np.asarray(X, dtype=float)
@@ -111,7 +111,9 @@ class C45Tree:
             self._prune(self.root)
         return self
 
-    def _build(self, X, y, one_hot, depth: int) -> _Node:
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, one_hot: np.ndarray, depth: int
+    ) -> _Node:
         counts = one_hot.sum(axis=0)
         node = _Node(counts)
         if (
@@ -134,7 +136,9 @@ class C45Tree:
         node.right = self._build(X[~mask], y[~mask], one_hot[~mask], depth + 1)
         return node
 
-    def _best_split(self, X, one_hot):
+    def _best_split(
+        self, X: np.ndarray, one_hot: np.ndarray
+    ) -> Optional[Tuple[int, float, float]]:
         n, _k = one_hot.shape
         parent_entropy = _entropy(one_hot.sum(axis=0))
         if parent_entropy == 0.0:
@@ -203,7 +207,7 @@ class C45Tree:
 
     # -------------------------------------------------------------- predict
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Vectorized batch prediction.
 
         Rows are routed through the tree by partitioning index sets at each
@@ -230,14 +234,14 @@ class C45Tree:
             stack.append((node.right, idx[~mask]))
         return self.classes_[out]
 
-    def predict_one(self, row) -> object:
+    def predict_one(self, row: np.ndarray) -> object:
         return self.predict(np.asarray(row, dtype=float)[None, :])[0]
 
     # ----------------------------------------------------------- inspection
 
     @property
     def n_nodes(self) -> int:
-        def count(node):
+        def count(node: Optional[_Node]) -> int:
             if node is None:
                 return 0
             return 1 + count(node.left) + count(node.right)
@@ -246,7 +250,7 @@ class C45Tree:
 
     @property
     def depth(self) -> int:
-        def d(node):
+        def d(node: Optional[_Node]) -> int:
             if node is None or node.is_leaf:
                 return 0
             return 1 + max(d(node.left), d(node.right))
@@ -270,7 +274,7 @@ class C45Tree:
         names = self.feature_names or [f"x{j}" for j in range(self.n_features)]
         lines: List[str] = []
 
-        def walk(node, indent, depth):
+        def walk(node: _Node, indent: str, depth: int) -> None:
             if node.is_leaf or depth >= max_depth:
                 label = self.classes_[node.prediction]
                 lines.append(f"{indent}-> {label} ({node.n})")

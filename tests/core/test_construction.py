@@ -1,5 +1,7 @@
 """Unit tests for Feature Construction (Section 3.2)."""
 
+import warnings
+
 import pytest
 
 from repro.core.construction import FeatureConstructor
@@ -111,11 +113,34 @@ class TestTransformRows:
     def test_heterogeneous_rows_zero_filled(self, dataset):
         fc = FeatureConstructor().fit(dataset)
         rows = [dict(dataset[0].features), {"mobile_hw_cpu_avg": 0.9}]
-        matrix, names = fc.transform_rows(rows)
+        with pytest.warns(RuntimeWarning, match="zero-filled"):
+            matrix, names = fc.transform_rows(rows)
         got = dict(zip(names, matrix[1]))
         assert got["mobile_hw_cpu_avg"] == 0.9
         assert got["mobile_tcp_s2c_retx_pkts"] == 0.0
         assert got["mobile_tcp_s2c_retx_pkts_norm"] == 0.0
+
+    def test_zero_fill_warning_names_features_and_fires_once(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        rows = [dict(dataset[0].features), {"mobile_hw_cpu_avg": 0.9}]
+        with pytest.warns(RuntimeWarning) as caught:
+            fc.transform_rows(rows)
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(messages) == 1
+        # the warning lists the zero-filled names so the typo is findable
+        assert "mobile_tcp_s2c_retx_pkts" in messages[0]
+        # one-time per constructor: a second batch stays silent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fc.transform_rows(rows)
+
+    def test_homogeneous_complete_rows_do_not_warn(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        rows = [inst.features for inst in dataset]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fc.transform_rows(rows)
 
     def test_empty_batch(self, dataset):
         fc = FeatureConstructor().fit(dataset)
