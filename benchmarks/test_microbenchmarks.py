@@ -3,12 +3,18 @@
 These are classic repeated-timing pytest-benchmark cases (unlike the
 figure reproductions, which run once over the cached datasets).  They
 guard the hot paths: the event loop, the TCP stack, the passive tstat
-pipeline, C4.5 training, and the two throughput-layer paths -- vectorized
-batch diagnosis and the parallel campaign engine.
+pipeline, C4.5 training, the two throughput-layer paths -- vectorized
+batch diagnosis and the parallel campaign engine -- and the streaming
+pipeline's constant-memory contract (peak RSS of a spooled campaign vs
+the materialized batch path).
 """
 
+import gc
+import multiprocessing
 import os
+import resource
 import time
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -203,6 +209,86 @@ def test_parallel_campaign_scaling():
           f"{workers} workers {parallel_s:.1f}s, speedup {speedup:.1f}x")
     assert speedup >= minimum, (
         f"parallel campaign only {speedup:.2f}x faster with {workers} workers"
+    )
+
+
+def _measure_in_child(fn):
+    """Run ``fn`` in a forked child; return (heap_peak_bytes, rss_kb, result).
+
+    Forking gives both modes an identical memory baseline (same parent
+    image, same imports), so the numbers are comparable.  ``tracemalloc``
+    provides the deterministic Python-heap peak the assertion uses;
+    ``ru_maxrss`` is recorded alongside as the operational number.
+    """
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.SimpleQueue()
+
+    def task():
+        gc.collect()
+        tracemalloc.start()
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        queue.put((peak, rss_kb, result))
+
+    proc = ctx.Process(target=task)
+    proc.start()
+    measurement = queue.get()
+    proc.join()
+    assert proc.exitcode == 0
+    return measurement
+
+
+def test_streaming_campaign_memory(report, tmp_path):
+    """The streaming pipeline must beat the batch path on peak memory.
+
+    Batch materializes every record and then the dataset on top;
+    streaming spools records to disk as they are simulated and keeps one
+    in flight.  The gap therefore grows with the campaign length.  The
+    recorded reference run is 200 instances (``REPRO_RSS_INSTANCES``
+    shrinks it for CI); the acceptance bar is the Python-heap peak ratio
+    (``REPRO_RSS_ADVANTAGE_MIN``, default 1.05 -- i.e. batch must peak at
+    least 5% above streaming).
+    """
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        pytest.skip("needs fork to compare modes from one baseline")
+    n = int(os.environ.get("REPRO_RSS_INSTANCES", "200"))
+    minimum = float(os.environ.get("REPRO_RSS_ADVANTAGE_MIN", "1.05"))
+    config = CampaignConfig(n_instances=n, seed=321,
+                            video_duration_range=(10.0, 14.0))
+    spool = tmp_path / "campaign.jsonl"
+
+    def batch_mode():
+        records = run_campaign(config)
+        dataset = Dataset.from_records(records)
+        return len(dataset)
+
+    def streaming_mode():
+        from repro.pipeline import CampaignSource, CountSink, JsonlSink, Pipeline
+
+        result = Pipeline(
+            CampaignSource(config), JsonlSink(spool), CountSink()
+        ).run()
+        return result["count"]
+
+    batch_peak, batch_rss, batch_n = _measure_in_child(batch_mode)
+    stream_peak, stream_rss, stream_n = _measure_in_child(streaming_mode)
+
+    assert batch_n == stream_n == n
+    ratio = batch_peak / stream_peak
+    report("streaming_memory", "\n".join([
+        f"streaming pipeline memory floor ({n}-instance campaign)",
+        f"  batch      peak heap {batch_peak / 1e6:8.2f} MB   "
+        f"peak RSS {batch_rss / 1024:7.1f} MB",
+        f"  streaming  peak heap {stream_peak / 1e6:8.2f} MB   "
+        f"peak RSS {stream_rss / 1024:7.1f} MB",
+        f"  batch/streaming heap ratio: {ratio:.2f}x",
+    ]))
+    assert ratio >= minimum, (
+        f"streaming peak heap only {ratio:.2f}x below batch (need {minimum:.2f}x)"
     )
 
 

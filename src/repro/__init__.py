@@ -26,7 +26,15 @@ from repro.experiments.common import (
     realworld_dataset,
     wild_dataset,
 )
-from repro.testbed.campaign import CampaignConfig, run_campaign
+from repro.pipeline import (
+    CampaignSource,
+    DatasetSink,
+    DiagnoseStage,
+    JsonlSink,
+    JsonlSource,
+    Pipeline,
+)
+from repro.testbed.campaign import CampaignConfig, iter_campaign, run_campaign
 from repro.testbed.testbed import SessionRecord, Testbed, TestbedConfig
 from repro.video.catalog import VideoCatalog, VideoProfile
 
@@ -41,7 +49,14 @@ __all__ = [
     "realworld_dataset",
     "wild_dataset",
     "CampaignConfig",
+    "iter_campaign",
     "run_campaign",
+    "CampaignSource",
+    "DatasetSink",
+    "DiagnoseStage",
+    "JsonlSink",
+    "JsonlSource",
+    "Pipeline",
     "SessionRecord",
     "Testbed",
     "TestbedConfig",

@@ -7,7 +7,9 @@ Three AST passes protect the invariants the reproduction depends on:
 * metric schema (M2xx) — probe-emitted and downstream-consumed metric
   names must agree (the silent-zero-fill hazard);
 * fault lifecycle (F3xx) — every concrete fault pairs inject/teardown,
-  maintains the ``active`` flag, and declares its vantage-point scope.
+  maintains the ``active`` flag, and declares its vantage-point scope;
+* pipeline-stage schema (P4xx) — every concrete streaming stage declares
+  the item fields it consumes and produces.
 
 Library use::
 
@@ -20,6 +22,7 @@ from repro.analysis.baseline import load_baseline, save_baseline
 from repro.analysis.determinism import check_determinism
 from repro.analysis.findings import Finding, RULES, Rule, rule_catalog
 from repro.analysis.lifecycle import VALID_VANTAGE_POINTS, check_lifecycle
+from repro.analysis.pipeline_schema import check_pipeline_stages
 from repro.analysis.runner import (
     LintResult,
     lint_paths,
@@ -37,6 +40,7 @@ __all__ = [
     "VALID_VANTAGE_POINTS",
     "check_determinism",
     "check_lifecycle",
+    "check_pipeline_stages",
     "check_schema",
     "lint_paths",
     "load_baseline",

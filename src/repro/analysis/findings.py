@@ -34,7 +34,7 @@ class Rule:
 
 
 #: the rule catalog.  Ids are grouped by pass: D1xx determinism,
-#: M2xx metric schema, F3xx fault lifecycle.
+#: M2xx metric schema, F3xx fault lifecycle, P4xx pipeline-stage schema.
 RULES: Dict[str, Rule] = {
     rule.id: rule
     for rule in (
@@ -98,6 +98,14 @@ RULES: Dict[str, Rule] = {
             "error",
             "concrete Fault subclass must declare VANTAGE_SCOPE as a tuple of "
             "vantage points drawn from ('mobile', 'router', 'server')",
+        ),
+        Rule(
+            "P401",
+            "pipeline-stage-schema",
+            "error",
+            "concrete pipeline Stage must declare CONSUMES and PRODUCES as "
+            "tuples of field-name string literals (schema of the items it "
+            "reads and yields)",
         ),
     )
 }

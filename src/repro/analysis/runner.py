@@ -8,7 +8,9 @@ thin wrapper).  Pass routing is by package-relative location:
 * the metric-schema pass (M2xx) collects producers from ``probes/`` and
   consumers from the feature-construction / selection / diagnosis /
   export modules, then matches the two sides globally;
-* the fault-lifecycle pass (F3xx) runs on ``faults/``.
+* the fault-lifecycle pass (F3xx) runs on ``faults/``;
+* the pipeline-schema pass (P4xx) runs on ``pipeline/`` — every concrete
+  stage must declare its ``CONSUMES``/``PRODUCES`` item fields.
 
 Paths outside the ``repro`` package (e.g. test fixture trees) are routed
 by their top-level directory relative to the lint root, so the passes are
@@ -31,6 +33,7 @@ from repro.analysis.findings import (
     sort_findings,
 )
 from repro.analysis.lifecycle import check_lifecycle
+from repro.analysis.pipeline_schema import check_pipeline_stages
 from repro.analysis.schema import check_schema
 from repro.analysis.suppressions import apply_suppressions, parse_suppressions
 
@@ -52,6 +55,9 @@ CONSUMER_MODULES = (
 
 #: package whose classes the lifecycle pass inspects
 LIFECYCLE_PACKAGE = "faults"
+
+#: package whose stage classes the pipeline-schema pass inspects
+PIPELINE_PACKAGE = "pipeline"
 
 
 @dataclass
@@ -182,6 +188,8 @@ def lint_paths(
             raw.extend(check_determinism(shown, source))
         if top == LIFECYCLE_PACKAGE:
             raw.extend(check_lifecycle(shown, source))
+        if top == PIPELINE_PACKAGE:
+            raw.extend(check_pipeline_stages(shown, source))
         if top == PRODUCER_PACKAGE:
             producer_sources[shown] = source
         if rel in CONSUMER_MODULES:

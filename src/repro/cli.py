@@ -14,10 +14,16 @@ Commands
     one human-readable report line per session (or JSON with ``--json``;
     ``--batch`` routes all sessions through the vectorized
     ``diagnose_batch`` path).
+``stream``
+    Run a campaign through the streaming pipeline: records flow one at
+    a time from the simulator into a JSONL spool (``--sink``) and/or a
+    chunked streaming diagnosis (``--diagnose``), with constant memory.
+    ``--resume`` restarts an interrupted spool at the last checkpointed
+    instance, bit-identical to an uninterrupted run.
 ``lint``
     Static analysis of the project's own invariants (determinism,
-    metric-schema consistency, fault lifecycle).  Exits non-zero on any
-    finding not in the committed baseline.
+    metric-schema consistency, fault lifecycle, pipeline-stage schemas).
+    Exits non-zero on any finding not in the committed baseline.
 
 Campaign simulation parallelises over ``--workers`` processes (or the
 ``REPRO_WORKERS`` environment variable); records are identical to a
@@ -33,6 +39,10 @@ Examples
     python -m repro evaluate --experiment fig3 --dataset lab.pkl
     python -m repro diagnose --train lab.pkl --vps mobile --limit 5
     python -m repro diagnose --train lab.pkl --batch --json
+    python -m repro stream --kind controlled --instances 200 \
+        --sink lab.jsonl --resume --workers 4
+    python -m repro stream --source lab.jsonl --train lab.pkl \
+        --diagnose --chunk 32 --json
     python -m repro lint src/repro --baseline lint-baseline.json
 """
 
@@ -176,6 +186,107 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    import json
+
+    from repro.pipeline import (
+        CampaignSource,
+        CountSink,
+        DiagnoseStage,
+        JsonlSink,
+        JsonlSource,
+        Pipeline,
+        config_fingerprint,
+        resume_position,
+    )
+    from repro.testbed.campaign import CampaignConfig
+    from repro.testbed.realworld import RealWorldConfig, WildConfig
+
+    stages = []
+    if args.source:
+        if args.resume:
+            raise SystemExit("--resume applies to simulated campaigns, not --source")
+        if args.sink:
+            raise SystemExit("--sink spools a simulated campaign; with --source "
+                             "the records are already on disk")
+        source = JsonlSource(args.source)
+    else:
+        from repro.experiments.common import (
+            CONTROLLED_N,
+            REALWORLD_N,
+            WILD_N,
+            scaled,
+        )
+
+        kinds = {
+            "controlled": (CampaignConfig, CONTROLLED_N, 42),
+            "realworld": (RealWorldConfig, REALWORLD_N, 1337),
+            "wild": (WildConfig, WILD_N, 2718),
+        }
+        config_cls, default_n, default_seed = kinds[args.kind]
+        config = config_cls(
+            n_instances=args.instances if args.instances else scaled(default_n),
+            seed=args.seed if args.seed is not None else default_seed,
+        )
+        key = config_fingerprint(config)
+        start = 0
+        if args.resume:
+            if not args.sink:
+                raise SystemExit("--resume needs --sink to know which spool to continue")
+            try:
+                start = resume_position(args.sink, key)
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            if start:
+                print(f"resuming {args.sink} at instance {start}/"
+                      f"{config.n_instances}", flush=True)
+        if start >= config.n_instances:
+            print(f"{args.sink}: campaign already complete "
+                  f"({config.n_instances} instances)")
+            return 0
+
+        def progress(index: int, record) -> None:
+            if not args.json:
+                print(f"  [{args.kind}] {index + 1}/{config.n_instances} "
+                      f"(severity={record.severity})", flush=True)
+
+        source = CampaignSource(
+            config, start=start, workers=args.workers,
+            progress=progress if args.verbose else None,
+        )
+        if args.sink:
+            stages.append(JsonlSink(args.sink, config_key=key, start=start))
+
+    analyzer = None
+    if args.diagnose:
+        train = (_load_dataset(args.train) if args.train
+                 else _default_dataset("controlled", None, workers=args.workers))
+        analyzer = RootCauseAnalyzer(vps=tuple(args.vps.split(","))).fit(train)
+        stages.append(DiagnoseStage(analyzer, chunk=args.chunk))
+    counter = CountSink()
+    stages.append(counter)
+
+    pipeline = Pipeline(source, *stages)
+    index = 0
+    for item in pipeline:
+        if analyzer is not None:
+            record, report = item.session, item.report
+            truth = record.exact_label
+            if args.json:
+                print(json.dumps(dict(report.to_dict(), index=index, truth=truth)))
+            else:
+                match = "OK " if report.exact == truth else "MISS"
+                print(f"[{index:4d}] {match} truth={truth:<28} {report.summary()}")
+        index += 1
+    summary = counter.result()
+    if not args.json:
+        print(f"streamed {summary['count']} sessions; "
+              f"severity: {summary['severity']}")
+        if args.sink and not args.source:
+            print(f"spooled to {args.sink}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     import json
 
@@ -264,6 +375,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="workers for simulating the default training set")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("stream",
+                       help="run a campaign through the streaming pipeline")
+    p.add_argument("--kind", choices=("controlled", "realworld", "wild"),
+                   default="controlled")
+    p.add_argument("--instances", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None,
+                   help="campaign seed (default: the kind's canonical seed)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulate instances on N processes; the record "
+                        "stream is identical to a serial run")
+    p.add_argument("--chunk", type=int, default=64,
+                   help="sessions per vectorized diagnosis chunk")
+    p.add_argument("--sink", metavar="PATH",
+                   help="spool records to a checkpointed JSONL file")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted --sink spool from its "
+                        "checkpoint (bit-identical to an unbroken run)")
+    p.add_argument("--source", metavar="PATH",
+                   help="replay a JSONL spool instead of simulating")
+    p.add_argument("--diagnose", action="store_true",
+                   help="stream every record through chunked diagnosis")
+    p.add_argument("--train", help="training pickle for --diagnose "
+                                   "(default: cached controlled)")
+    p.add_argument("--vps", default="mobile,router,server")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON object per diagnosed session")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-instance simulation progress")
+    p.set_defaults(fn=cmd_stream)
 
     p = sub.add_parser("lint", help="static analysis of project invariants")
     p.add_argument("paths", nargs="*",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,9 +57,22 @@ class FeatureConstructor:
 
     def fit(self, dataset: Dataset) -> "FeatureConstructor":
         """Learn per-NIC maximum rates over the whole dataset."""
-        maxima: Dict[str, float] = {}
-        for inst in dataset:
-            for name, value in inst.features.items():
+        return self.fit_stream(dataset)
+
+    def fit_stream(
+        self, instances: Iterable[Union[Instance, Dict[str, float]]]
+    ) -> "FeatureConstructor":
+        """Single-pass fit over any stream of instances or feature dicts.
+
+        The only fitted state is a running per-NIC maximum, which is
+        associative — so a streaming fit is *exactly* the batch fit, and
+        the stream is never materialized.  Repeated calls keep folding
+        new data into the same maxima (continuous-training style).
+        """
+        maxima = self._nic_max_rates if self.fitted else {}
+        for inst in instances:
+            features = inst.features if isinstance(inst, Instance) else inst
+            for name, value in features.items():
                 if name.endswith(_RATE_SUFFIXES):
                     if value > maxima.get(name, 0.0):
                         maxima[name] = value
@@ -221,6 +234,33 @@ class FeatureConstructor:
                 stacklevel=2,
             )
         return matrix, names
+
+    def transform_rows_stream(
+        self,
+        rows: Iterable[Dict[str, float]],
+        session_s: Optional[Iterable[float]] = None,
+        chunk: int = 256,
+    ) -> Iterator[Tuple[np.ndarray, List[str]]]:
+        """Chunked streaming form of :meth:`transform_rows`.
+
+        Yields one ``(matrix, names)`` pair per chunk of up to ``chunk``
+        rows, holding only the current chunk in memory.  Construction is
+        row-local, so for a homogeneous stream (every row carries the
+        same feature names — the fleet case) concatenating the chunk
+        matrices reproduces the one-shot :meth:`transform_rows` output
+        bit for bit.
+        """
+        from repro.pipeline.stages import chunked
+
+        if session_s is None:
+            for batch in chunked(rows, chunk):
+                yield self.transform_rows(batch)
+        else:
+            paired = zip(rows, session_s)
+            for pairs in chunked(paired, chunk):
+                batch = [row for row, _s in pairs]
+                durations = [s for _row, s in pairs]
+                yield self.transform_rows(batch, session_s=durations)
 
     def transform_instance(self, inst: Instance, session_s: Optional[float] = None) -> Instance:
         features = self.transform_features(inst.features)

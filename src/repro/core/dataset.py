@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -27,14 +27,40 @@ class Instance:
     def label(self, kind: str) -> str:
         return self.labels[kind]
 
+    @classmethod
+    def from_record(cls, record: object) -> "Instance":
+        """The canonical SessionRecord -> Instance conversion.
+
+        Shared by batch assembly (:meth:`Dataset.from_records`) and the
+        streaming pipeline's instance stage, so the mapping from records
+        to labelled instances exists in exactly one place.
+        """
+        severity = record.severity_label  # type: ignore[attr-defined]
+        return cls(
+            features=dict(record.features),  # type: ignore[attr-defined]
+            labels={
+                "severity": severity,
+                "location": record.location_label,  # type: ignore[attr-defined]
+                "exact": record.exact_label,  # type: ignore[attr-defined]
+                "existence": "good" if severity == "good" else "problematic",
+            },
+            mos=record.mos,  # type: ignore[attr-defined]
+            app_metrics=dict(record.app_metrics),  # type: ignore[attr-defined]
+            meta=dict(record.meta),  # type: ignore[attr-defined]
+        )
+
 
 class Dataset:
     """A list of instances with a consistent feature-name universe."""
 
-    def __init__(self, instances: Sequence[Instance]) -> None:
-        self.instances: List[Instance] = list(instances)
-        names = set()
-        for inst in self.instances:
+    def __init__(self, instances: Iterable[Instance]) -> None:
+        # Single pass: materialize and union feature names together, so
+        # plain iterators/generators are valid input and the stream is
+        # walked exactly once.
+        self.instances: List[Instance] = []
+        names: Set[str] = set()
+        for inst in instances:
+            self.instances.append(inst)
             names.update(inst.features)
         self.feature_names: List[str] = sorted(names)
 
@@ -42,26 +68,26 @@ class Dataset:
 
     @classmethod
     def from_records(cls, records: Iterable) -> "Dataset":
-        """Build from :class:`repro.testbed.testbed.SessionRecord` objects."""
-        instances = []
-        for record in records:
-            instances.append(
-                Instance(
-                    features=dict(record.features),
-                    labels={
-                        "severity": record.severity_label,
-                        "location": record.location_label,
-                        "exact": record.exact_label,
-                        "existence": (
-                            "good" if record.severity_label == "good" else "problematic"
-                        ),
-                    },
-                    mos=record.mos,
-                    app_metrics=dict(record.app_metrics),
-                    meta=dict(record.meta),
-                )
-            )
-        return cls(instances)
+        """Build from :class:`repro.testbed.testbed.SessionRecord` objects.
+
+        ``records`` may be any iterable, including a lazy campaign
+        iterator: it is consumed in a single streaming pass.
+        """
+        return cls(Instance.from_record(record) for record in records)
+
+    @classmethod
+    def from_parts(
+        cls, instances: List[Instance], feature_names: Iterable[str]
+    ) -> "Dataset":
+        """Assemble from already-collected parts without re-walking.
+
+        Trusted constructor for :class:`DatasetBuilder`; ``feature_names``
+        must cover every feature of ``instances``.
+        """
+        dataset = cls.__new__(cls)
+        dataset.instances = instances
+        dataset.feature_names = sorted(set(feature_names))
+        return dataset
 
     # -- access ---------------------------------------------------------------
 
@@ -99,3 +125,33 @@ class Dataset:
 
     def merged_with(self, other: "Dataset") -> "Dataset":
         return Dataset(self.instances + other.instances)
+
+
+class DatasetBuilder:
+    """Incremental, single-pass dataset assembly for streaming flows.
+
+    Instances are added one at a time while the feature-name universe is
+    unioned on the fly; :meth:`build` hands both to :class:`Dataset`
+    without another walk over the data.  The builder is the dataset-side
+    half of the constant-memory pipeline: upstream stages never need to
+    materialize the record stream to construct a dataset at the end.
+    """
+
+    def __init__(self) -> None:
+        self._instances: List[Instance] = []
+        self._names: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def add(self, instance: Instance) -> None:
+        self._instances.append(instance)
+        self._names.update(instance.features)
+
+    def add_record(self, record: object) -> None:
+        """Convert a :class:`SessionRecord` and add it."""
+        self.add(Instance.from_record(record))
+
+    def build(self) -> Dataset:
+        """The assembled dataset; the builder can keep accumulating."""
+        return Dataset.from_parts(list(self._instances), self._names)

@@ -22,7 +22,17 @@ import json
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -290,6 +300,28 @@ class RootCauseAnalyzer:
                 predictions["severity"], predictions["location"], predictions["exact"]
             )
         ]
+
+    def diagnose_stream(
+        self,
+        sessions: Iterable["SessionLike"],
+        chunk: int = 64,
+    ) -> Iterator[DiagnosisReport]:
+        """Streaming diagnosis: constant memory, vectorized per chunk.
+
+        Consumes ``sessions`` lazily — a live feed or a campaign iterator
+        — and yields one report per session in order, running
+        :meth:`diagnose_batch` over chunks of up to ``chunk`` sessions.
+        Construction and prediction are row-local, so the labels are
+        identical to both :meth:`diagnose_batch` over the whole stream
+        and :meth:`diagnose` per session; only peak memory differs.
+        """
+        from repro.pipeline.stages import chunked
+
+        if not self.fitted:
+            raise RuntimeError("analyzer must be fit first")
+        for batch in chunked(sessions, chunk):
+            for report in self.diagnose_batch(batch):
+                yield report
 
     # ------------------------------------------------------------ inspection
 

@@ -1,0 +1,88 @@
+"""Streaming session pipeline: constant-memory record flow.
+
+The paper's deployment model (Section 6) is an always-on measurement
+loop: sessions arrive one at a time, are featurized, diagnosed, and
+logged — nothing ever holds a whole campaign in RAM.  This package makes
+that the repo's execution model.  Records flow through typed stages as
+iterators::
+
+    Source -> Construct -> Diagnose -> Sink
+
+Every stage declares the item fields it ``CONSUMES`` and ``PRODUCES``;
+:class:`Pipeline` checks the chain at assembly time and ``repro lint``
+rule P401 checks the declarations statically.
+
+Example — spool a campaign to disk while diagnosing it, resumably::
+
+    from repro.pipeline import (
+        CampaignSource, DiagnoseStage, JsonlSink, Pipeline,
+    )
+    from repro.pipeline.checkpoint import config_fingerprint, resume_position
+
+    key = config_fingerprint(config)
+    start = resume_position("campaign.jsonl", key)     # 0 on a fresh run
+    pipeline = Pipeline(
+        CampaignSource(config, start=start),
+        JsonlSink("campaign.jsonl", config_key=key, start=start),
+        DiagnoseStage(analyzer, chunk=32),
+    )
+    for diagnosed in pipeline:
+        print(diagnosed.report.summary())
+
+The stream is bit-identical to the batch path (``run_campaign`` +
+``diagnose_batch``) for the same config — serial or parallel — which the
+equivalence tests pin down.
+"""
+
+from repro.pipeline.checkpoint import (
+    Checkpoint,
+    checkpoint_path,
+    config_fingerprint,
+    load_checkpoint,
+    resume_position,
+    save_checkpoint,
+)
+from repro.pipeline.construct import ConstructStage, InstanceStage
+from repro.pipeline.diagnose import Diagnosed, DiagnoseStage
+from repro.pipeline.pipeline import Pipeline, SchemaError, validate_schema
+from repro.pipeline.records import (
+    record_from_dict,
+    record_from_json,
+    record_to_dict,
+    record_to_json,
+)
+from repro.pipeline.sinks import CollectSink, CountSink, DatasetSink, JsonlSink
+from repro.pipeline.sources import CampaignSource, IterableSource, JsonlSource
+from repro.pipeline.stages import ANY, Sink, Source, Stage, chunked
+
+__all__ = [
+    "ANY",
+    "CampaignSource",
+    "Checkpoint",
+    "CollectSink",
+    "ConstructStage",
+    "CountSink",
+    "DatasetSink",
+    "Diagnosed",
+    "DiagnoseStage",
+    "InstanceStage",
+    "IterableSource",
+    "JsonlSink",
+    "JsonlSource",
+    "Pipeline",
+    "SchemaError",
+    "Sink",
+    "Source",
+    "Stage",
+    "checkpoint_path",
+    "chunked",
+    "config_fingerprint",
+    "load_checkpoint",
+    "record_from_dict",
+    "record_from_json",
+    "record_to_dict",
+    "record_to_json",
+    "resume_position",
+    "save_checkpoint",
+    "validate_schema",
+]

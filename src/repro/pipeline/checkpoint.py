@@ -1,0 +1,139 @@
+"""Checkpoint/resume bookkeeping for spooled campaign streams.
+
+A spool (``campaign.jsonl``) is accompanied by a tiny sidecar
+(``campaign.jsonl.ckpt``) recording how many instances have been fully
+written and a fingerprint of the campaign configuration that produced
+them.  Resume is then exact: because every campaign instance is a pure
+function of ``(config, index, instance_seed)`` and the per-instance seeds
+are all drawn up front, restarting at ``completed`` yields bit-identical
+records to a never-interrupted run.
+
+Crash safety: the sidecar is written atomically (tmp + rename) *after*
+its record's spool line, so a crash can leave at most one un-checkpointed
+or partial trailing line; :func:`resume_position` truncates the spool
+back to the last checkpointed record before the campaign restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+CHECKPOINT_FORMAT = "repro-ckpt-v1"
+
+
+def checkpoint_path(spool: Union[str, Path]) -> Path:
+    """The sidecar path for a spool file."""
+    spool = Path(spool)
+    return spool.with_name(spool.name + ".ckpt")
+
+
+def config_fingerprint(config: object) -> str:
+    """Stable identity of a campaign config (dataclass or repr-able).
+
+    Deliberately excludes execution knobs that do not change the records
+    (worker count, chunk size) — those live outside the config object.
+    """
+    if is_dataclass(config) and not isinstance(config, type):
+        payload = repr(sorted(asdict(config).items()))
+    else:
+        payload = repr(config)
+    payload = f"{type(config).__name__}|{payload}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class Checkpoint:
+    """Progress marker for one spooled campaign."""
+
+    config_key: str
+    completed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "config_key": self.config_key,
+            "completed": self.completed,
+        }
+
+
+def save_checkpoint(spool: Union[str, Path], checkpoint: Checkpoint) -> None:
+    """Atomically write the sidecar for ``spool``."""
+    path = checkpoint_path(spool)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(checkpoint.to_dict()))
+    os.replace(tmp, path)
+
+
+def load_checkpoint(spool: Union[str, Path]) -> Optional[Checkpoint]:
+    """The sidecar contents, or ``None`` when absent/unreadable."""
+    path = checkpoint_path(spool)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        return None
+    return Checkpoint(
+        config_key=str(payload["config_key"]),
+        completed=int(payload["completed"]),
+    )
+
+
+def clear_checkpoint(spool: Union[str, Path]) -> None:
+    """Remove the sidecar (a completed campaign needs no resume marker)."""
+    path = checkpoint_path(spool)
+    if path.exists():
+        path.unlink()
+
+
+def resume_position(spool: Union[str, Path], config_key: str) -> int:
+    """Where to restart a spooled campaign: the count of completed records.
+
+    Reconciles the spool with its checkpoint sidecar and truncates any
+    trailing bytes past the last checkpointed record (a crash mid-write
+    leaves at most a partial line).  Raises ``ValueError`` when the spool
+    belongs to a *different* campaign configuration — resuming someone
+    else's spool would silently mix datasets.
+    """
+    spool = Path(spool)
+    if not spool.exists():
+        return 0
+    checkpoint = load_checkpoint(spool)
+    if checkpoint is None:
+        raise ValueError(
+            f"{spool} exists but has no usable checkpoint sidecar; "
+            "delete the spool to start over"
+        )
+    if checkpoint.config_key != config_key:
+        raise ValueError(
+            f"{spool} was written by a different campaign config "
+            f"({checkpoint.config_key} != {config_key}); refusing to resume"
+        )
+    # Keep exactly `completed` full lines; drop anything after them.
+    keep = checkpoint.completed
+    offset = 0
+    seen = 0
+    with spool.open("rb") as fh:
+        for line in fh:
+            if seen >= keep:
+                break
+            if line.endswith(b"\n"):
+                seen += 1
+                offset += len(line)
+            else:
+                break  # partial trailing line
+    if seen < keep:
+        # Spool is shorter than the checkpoint claims: trust the spool.
+        keep = seen
+    with spool.open("rb+") as fh:
+        fh.truncate(offset)
+    if keep != checkpoint.completed:
+        save_checkpoint(spool, Checkpoint(config_key=config_key, completed=keep))
+    return keep

@@ -1,0 +1,132 @@
+"""Pipeline sources: where session records enter the stream.
+
+``CampaignSource`` is the canonical one — it wraps the testbed campaign
+iterators (controlled / real-world / wild, dispatched on the config
+type), so records flow straight out of the simulator one at a time,
+optionally fanned out over the parallel engine.  ``JsonlSource`` replays
+a spool written by :class:`repro.pipeline.sinks.JsonlSink`, which is how
+an interrupted or archived campaign re-enters the pipeline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+from repro.pipeline.records import record_from_json
+from repro.pipeline.stages import Source
+from repro.testbed.campaign import CampaignConfig, iter_campaign
+from repro.testbed.realworld import (
+    RealWorldConfig,
+    WildConfig,
+    iter_realworld,
+    iter_wild,
+)
+from repro.testbed.testbed import SessionRecord
+
+#: progress callback: ``(absolute_index, record)``
+ProgressFn = Callable[[int, SessionRecord], None]
+
+CampaignLike = Union[CampaignConfig, RealWorldConfig, WildConfig]
+
+
+class CampaignSource(Source):
+    """Stream a testbed campaign, instance by instance.
+
+    The campaign kind follows the config type (``CampaignConfig``,
+    ``RealWorldConfig`` or ``WildConfig``).  ``start`` skips the first
+    ``start`` instances *without changing any later record* — the
+    per-instance seeds are all drawn up front, so this is the resume
+    primitive — and ``workers`` fans simulation out over the parallel
+    engine (records still arrive in index order, bit-identical to a
+    serial run).
+    """
+
+    name = "campaign"
+    CONSUMES = ()
+    PRODUCES = (
+        "features",
+        "app_metrics",
+        "mos",
+        "severity_label",
+        "location_label",
+        "exact_label",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        config: CampaignLike,
+        start: int = 0,
+        workers: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self.config = config
+        self.start = start
+        self.workers = workers
+        self.progress = progress
+        if isinstance(config, CampaignConfig):
+            self._iter = iter_campaign
+        elif isinstance(config, RealWorldConfig):
+            self._iter = iter_realworld
+        elif isinstance(config, WildConfig):
+            self._iter = iter_wild
+        else:
+            raise TypeError(
+                f"unsupported campaign config type: {type(config).__name__}"
+            )
+
+    def items(self) -> Iterator[SessionRecord]:
+        return self._iter(
+            self.config,
+            progress=self.progress,
+            workers=self.workers,
+            start=self.start,
+        )
+
+
+class JsonlSource(Source):
+    """Replay session records from a JSONL spool file."""
+
+    name = "jsonl"
+    CONSUMES = ()
+    PRODUCES = (
+        "features",
+        "app_metrics",
+        "mos",
+        "severity_label",
+        "location_label",
+        "exact_label",
+        "meta",
+    )
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def items(self) -> Iterator[SessionRecord]:
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield record_from_json(line)
+
+
+class IterableSource(Source):
+    """Adapt any in-memory iterable of items into a pipeline source.
+
+    The escape hatch for tests and ad-hoc composition; it cannot know
+    what fields its items carry, so downstream schema checking is
+    suspended (``PRODUCES = ("*",)``).
+    """
+
+    name = "iterable"
+    CONSUMES = ()
+    PRODUCES = ("*",)
+
+    def __init__(self, iterable: "object") -> None:
+        self.iterable = iterable
+
+    def items(self) -> Iterator[object]:
+        return iter(self.iterable)  # type: ignore[call-overload]

@@ -23,7 +23,7 @@ import os
 import random
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.faults.base import FAULT_NAMES, make_fault
 from repro.testbed.testbed import SessionRecord, Testbed, TestbedConfig
@@ -55,9 +55,9 @@ class CampaignConfig:
     catalog_size: int = 100
     #: campaign videos are kept short so a full dataset simulates quickly;
     #: the distributional diversity (SD/HD, bitrates) is what matters.
-    video_duration_range: tuple = (18.0, 45.0)
+    video_duration_range: Tuple[float, float] = (18.0, 45.0)
     hd_fraction: float = 0.5
-    testbed_overrides: dict = field(default_factory=dict)
+    testbed_overrides: Dict[str, object] = field(default_factory=dict)
 
 
 # --------------------------------------------------------------- the engine
@@ -96,7 +96,7 @@ def resolve_workers(workers: Optional[int]) -> int:
     return max(1, int(workers))
 
 
-def _fork_context():
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     """A fork multiprocessing context, or ``None`` where unavailable."""
     if "fork" not in multiprocessing.get_all_start_methods():
         return None
@@ -110,11 +110,12 @@ def _run_job(job: Tuple[InstanceFn, object, int, int]) -> SessionRecord:
 
 def iter_instances(
     instance_fn: InstanceFn,
-    config,
+    config: object,
     seeds: Sequence[int],
     progress: Optional[ProgressFn] = None,
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    start: int = 0,
 ) -> Iterator[SessionRecord]:
     """Yield one record per ``(index, seed)`` pair, in index order.
 
@@ -122,14 +123,22 @@ def iter_instances(
     dispatched to a process pool in chunks; results stream back in order
     and ``progress`` fires in the parent, so callers cannot tell the two
     modes apart except by wall clock.
+
+    ``start`` skips the first ``start`` instances while keeping absolute
+    indices and per-instance seeds unchanged — the records produced for
+    indices ``start..`` are bit-identical to the tail of a full run,
+    which is what makes checkpoint/resume exact.
     """
+    if start:
+        seeds = seeds[start:]
     n = len(seeds)
     workers = min(resolve_workers(workers), max(1, n))
     context = _fork_context() if workers > 1 else None
     if multiprocessing.current_process().daemon:
         context = None  # no nested pools inside a worker
     if context is None or workers <= 1:
-        for index, instance_seed in enumerate(seeds):
+        for offset, instance_seed in enumerate(seeds):
+            index = start + offset
             record = instance_fn(config, index, instance_seed)
             if progress is not None:
                 progress(index, record)
@@ -139,17 +148,20 @@ def iter_instances(
         # Small chunks keep the pool load-balanced (instances are seconds
         # each) while still amortising dispatch for large campaigns.
         chunksize = max(1, min(4, n // (workers * 4)))
-    jobs = [(instance_fn, config, index, seed) for index, seed in enumerate(seeds)]
+    jobs = [
+        (instance_fn, config, start + offset, seed)
+        for offset, seed in enumerate(seeds)
+    ]
     with context.Pool(processes=workers) as pool:
-        for index, record in enumerate(pool.imap(_run_job, jobs, chunksize=chunksize)):
+        for offset, record in enumerate(pool.imap(_run_job, jobs, chunksize=chunksize)):
             if progress is not None:
-                progress(index, record)
+                progress(start + offset, record)
             yield record
 
 
 @functools.lru_cache(maxsize=8)
 def _catalog(
-    size: int, duration_range: tuple, hd_fraction: float, seed: int
+    size: int, duration_range: Tuple[float, float], hd_fraction: float, seed: int
 ) -> VideoCatalog:
     """Per-process catalog cache: identical in every worker (pure of seed)."""
     return VideoCatalog(
@@ -206,11 +218,23 @@ def iter_campaign(
     config: CampaignConfig,
     progress: Optional[ProgressFn] = None,
     workers: Optional[int] = None,
-):
-    """Yield one :class:`SessionRecord` per scenario instance."""
+    start: int = 0,
+) -> Iterator[SessionRecord]:
+    """Yield one :class:`SessionRecord` per scenario instance.
+
+    This is the canonical streaming entry point: records are produced
+    one at a time (or streamed back in order from the worker pool), so
+    callers that consume incrementally hold at most a chunk in memory.
+    ``start`` resumes mid-campaign without perturbing any later record.
+    """
     seeds = campaign_seeds(config.seed, config.n_instances)
     yield from iter_instances(
-        _controlled_instance, config, seeds, progress=progress, workers=workers
+        _controlled_instance,
+        config,
+        seeds,
+        progress=progress,
+        workers=workers,
+        start=start,
     )
 
 
@@ -221,8 +245,11 @@ def run_campaign(
 ) -> List[SessionRecord]:
     """Collect the full campaign into a list of records.
 
-    ``workers`` fans instances out over a process pool (default: the
-    ``REPRO_WORKERS`` environment variable, else serial); results are
-    identical to a serial run for the same config.
+    A thin batch wrapper over :func:`iter_campaign` — the streaming path
+    is the canonical one; use it (or :mod:`repro.pipeline`) when the
+    campaign should not be held in memory at once.  ``workers`` fans
+    instances out over a process pool (default: the ``REPRO_WORKERS``
+    environment variable, else serial); results are identical to a
+    serial run for the same config.
     """
     return list(iter_campaign(config, progress=progress, workers=workers))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.probes.application import ApplicationProbe
 from repro.probes.hardware import HardwareProbe
@@ -45,15 +45,15 @@ CELL_CONDITIONS = ("none", "cell_load", "weak_signal", "wan_congestion", "mobile
 class CellularConfig:
     seed: int = 0
     cell_capacity_bps: float = 7.2e6
-    base_cell_load_range: tuple = (0.15, 0.45)
-    ue_rscp_range: tuple = (-95.0, -70.0)
+    base_cell_load_range: Tuple[float, float] = (0.15, 0.45)
+    ue_rscp_range: Tuple[float, float] = (-95.0, -70.0)
     warmup_s: float = 3.0
 
 
 class CellularTestbed:
     """One phone streaming over a simulated 3G cell."""
 
-    def __init__(self, config: Optional[CellularConfig] = None):
+    def __init__(self, config: Optional[CellularConfig] = None) -> None:
         self.config = config or CellularConfig()
         cfg = self.config
         self.sim = Simulator(seed=cfg.seed)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.faults.base import make_fault
 from repro.testbed.campaign import _catalog, campaign_seeds, iter_instances
@@ -46,7 +46,7 @@ class RealWorldConfig:
     )
     youtube_fraction: float = 0.75
     catalog_size: int = 100
-    video_duration_range: tuple = (18.0, 45.0)
+    video_duration_range: Tuple[float, float] = (18.0, 45.0)
     mobility: bool = True
 
 
@@ -63,7 +63,7 @@ class WildConfig:
     #: natural fault occurrence: most sessions are fine; problems skew
     #: towards the local network, as the paper's Table 5 finds.
     fault_probability: float = 0.2
-    fault_weights: dict = field(
+    fault_weights: Dict[str, float] = field(
         default_factory=lambda: {
             "lan_congestion": 0.3,
             "lan_shaping": 0.12,
@@ -76,7 +76,7 @@ class WildConfig:
     )
     mild_fraction: float = 0.65
     catalog_size: int = 100
-    video_duration_range: tuple = (18.0, 45.0)
+    video_duration_range: Tuple[float, float] = (18.0, 45.0)
 
 
 def _apply_mobility(testbed: Testbed, rng: random.Random) -> None:
@@ -92,7 +92,7 @@ def _apply_mobility(testbed: Testbed, rng: random.Random) -> None:
     testbed.sim.schedule(2.0, wander)
 
 
-def _realworld_catalog(config) -> VideoCatalog:
+def _realworld_catalog(config: Union[RealWorldConfig, WildConfig]) -> VideoCatalog:
     return _catalog(
         config.catalog_size,
         tuple(config.video_duration_range),
@@ -142,10 +142,16 @@ def iter_realworld(
     config: RealWorldConfig,
     progress: Optional[Callable[[int, SessionRecord], None]] = None,
     workers: Optional[int] = None,
-):
+    start: int = 0,
+) -> Iterator[SessionRecord]:
     seeds = campaign_seeds(config.seed, config.n_instances)
     yield from iter_instances(
-        _realworld_instance, config, seeds, progress=progress, workers=workers
+        _realworld_instance,
+        config,
+        seeds,
+        progress=progress,
+        workers=workers,
+        start=start,
     )
 
 
@@ -219,10 +225,16 @@ def iter_wild(
     config: WildConfig,
     progress: Optional[Callable[[int, SessionRecord], None]] = None,
     workers: Optional[int] = None,
-):
+    start: int = 0,
+) -> Iterator[SessionRecord]:
     seeds = campaign_seeds(config.seed, config.n_instances)
     yield from iter_instances(
-        _wild_instance, config, seeds, progress=progress, workers=workers
+        _wild_instance,
+        config,
+        seeds,
+        progress=progress,
+        workers=workers,
+        start=start,
     )
 
 

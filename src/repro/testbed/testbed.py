@@ -16,14 +16,14 @@ the full per-VP feature set and the MOS-based ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.faults.base import Fault
 from repro.probes.application import ApplicationProbe
 from repro.probes.hardware import HardwareProbe
 from repro.probes.link import LinkProbe
 from repro.probes.radio import RadioProbe
-from repro.probes.tstat import TstatProbe
+from repro.probes.tstat import FlowKey, TstatProbe
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Channel, NetemChannel
 from repro.simnet.node import Host, Router, wire
@@ -60,9 +60,9 @@ class TestbedConfig:
     server_mode: str = "apache"  # or "youtube"
     bridge_rate_bps: float = 25e6
     ethernet_rate_bps: float = 100e6
-    phone_rssi_range: tuple = (-62.0, -42.0)
-    server_base_load_range: tuple = (0.05, 0.4)
-    background_intensity_range: tuple = (0.6, 1.6)
+    phone_rssi_range: Tuple[float, float] = (-62.0, -42.0)
+    server_base_load_range: Tuple[float, float] = (0.05, 0.4)
+    background_intensity_range: Tuple[float, float] = (0.6, 1.6)
     warmup_s: float = 3.0
     traffic_mix: Optional[TrafficMix] = None
     player_config: Optional[PlayerConfig] = None
@@ -103,7 +103,7 @@ class SessionRecord:
 class Testbed:
     """One fully-wired instance of the Figure 2 testbed."""
 
-    def __init__(self, config: Optional[TestbedConfig] = None):
+    def __init__(self, config: Optional[TestbedConfig] = None) -> None:
         self.config = config or TestbedConfig()
         cfg = self.config
         if cfg.wan_profile not in WAN_PROFILES:
@@ -215,7 +215,9 @@ class Testbed:
             probe.start()
         return probes
 
-    def _probes_down(self, probes: Dict[str, object], flow) -> Dict[str, float]:
+    def _probes_down(
+        self, probes: Dict[str, Any], flow: Optional[FlowKey]
+    ) -> Dict[str, float]:
         """Stop every probe and flatten the per-VP feature namespace."""
         features: Dict[str, float] = {}
 
@@ -233,8 +235,12 @@ class Testbed:
             add(prefix, link.stop())
         return features
 
-    def _run_instrumented(self, session_factory, fault: Optional[Fault],
-                          deadline_s: float):
+    def _run_instrumented(
+        self,
+        session_factory: Callable[[], Any],
+        fault: Optional[Fault],
+        deadline_s: float,
+    ) -> Tuple[Any, Dict[str, float]]:
         """Warm up, apply the fault, run the session, collect features.
 
         ``session_factory`` is invoked *after* the fault is applied, so
@@ -275,7 +281,7 @@ class Testbed:
         cfg = self.config
         self.phone_device.new_session(profile)
 
-        def make_session():
+        def make_session() -> VideoSession:
             return VideoSession(
                 self.sim,
                 self.phone,
@@ -343,7 +349,7 @@ class Testbed:
         self.phone_device.new_session(profile)
         abr_server = AbrVideoServer(self.sim, self.server)
 
-        def make_session():
+        def make_session() -> "AbrVideoSession":
             return AbrVideoSession(
                 self.sim,
                 self.phone,

@@ -156,3 +156,84 @@ def test_diagnose_explain_flag(dataset_file, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "because" in out
+
+
+@pytest.fixture()
+def spool_file(tmp_path, mini_campaign_records):
+    from repro.pipeline import IterableSource, JsonlSink, Pipeline
+
+    path = tmp_path / "mini.jsonl"
+    Pipeline(IterableSource(mini_campaign_records[:6]), JsonlSink(path)).run()
+    return str(path)
+
+
+def test_stream_replays_spool(spool_file, capsys):
+    rc = main(["stream", "--source", spool_file])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "streamed 6 sessions" in out
+
+
+def test_stream_diagnoses_spool(spool_file, dataset_file, capsys):
+    rc = main([
+        "stream", "--source", spool_file, "--diagnose",
+        "--train", dataset_file, "--vps", "mobile", "--chunk", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("truth=") == 6
+    assert "streamed 6 sessions" in out
+
+
+def test_stream_json_output(spool_file, dataset_file, capsys):
+    import json
+
+    rc = main([
+        "stream", "--source", spool_file, "--diagnose",
+        "--train", dataset_file, "--vps", "mobile", "--json",
+    ])
+    assert rc == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    assert len(lines) == 6
+    for line in lines:
+        entry = json.loads(line)
+        assert entry["severity"] in ("good", "mild", "severe")
+        assert "truth" in entry
+
+
+def test_stream_source_rejects_resume(spool_file):
+    with pytest.raises(SystemExit, match="--resume"):
+        main(["stream", "--source", spool_file, "--resume"])
+
+
+def test_stream_source_rejects_sink(spool_file, tmp_path):
+    with pytest.raises(SystemExit, match="--sink"):
+        main(["stream", "--source", spool_file,
+              "--sink", str(tmp_path / "copy.jsonl")])
+
+
+def test_stream_resume_requires_sink():
+    with pytest.raises(SystemExit, match="--sink"):
+        main(["stream", "--resume"])
+
+
+def test_stream_resume_refuses_foreign_spool(tmp_path):
+    from repro.pipeline import Checkpoint, save_checkpoint
+
+    spool = tmp_path / "foreign.jsonl"
+    spool.write_text("{}\n")
+    save_checkpoint(spool, Checkpoint(config_key="someone-else", completed=1))
+    with pytest.raises(SystemExit, match="different campaign"):
+        main(["stream", "--kind", "controlled", "--instances", "2",
+              "--resume", "--sink", str(spool)])
+
+
+def test_stream_simulates_and_spools(tmp_path, capsys):
+    spool = tmp_path / "sim.jsonl"
+    rc = main(["stream", "--kind", "controlled", "--instances", "2",
+               "--seed", "55", "--sink", str(spool)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "streamed 2 sessions" in out
+    assert len(spool.read_text().splitlines()) == 2
+    assert not spool.with_name(spool.name + ".ckpt").exists()

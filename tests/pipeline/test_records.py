@@ -1,0 +1,68 @@
+"""Spool serialization: JSON round trips must be exact."""
+
+import pytest
+
+from repro.pipeline.records import (
+    RECORD_FORMAT,
+    record_from_dict,
+    record_from_json,
+    record_to_dict,
+    record_to_json,
+)
+from repro.testbed.testbed import SessionRecord
+
+
+def make_record(**overrides):
+    base = dict(
+        features={"mobile.rssi_mean": -67.25, "router.retr_rate": 0.1 + 0.2},
+        app_metrics={"rebuf_ratio": 1e-17, "join_time_s": 2.5},
+        mos=3.4375,
+        severity="mild",
+        fault_name="low_rssi",
+        fault_severity="mild",
+        fault_location="mobile",
+        fault_intensity={"rssi_floor": -88.0},
+        meta={"instance_index": 7, "session_s": 12.5, "server_mode": "apache"},
+    )
+    base.update(overrides)
+    return SessionRecord(**base)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        record = make_record()
+        clone = record_from_dict(record_to_dict(record))
+        assert clone == record
+
+    def test_json_round_trip_is_exact(self):
+        # The floats are deliberately repr-unfriendly: 0.1 + 0.2 and 1e-17
+        # only survive if serialization goes through full-precision repr.
+        record = make_record()
+        clone = record_from_json(record_to_json(record))
+        assert clone == record
+        assert clone.features["router.retr_rate"] == 0.1 + 0.2
+        assert clone.app_metrics["rebuf_ratio"] == 1e-17
+
+    def test_meta_scalars_preserve_types(self):
+        clone = record_from_json(record_to_json(make_record()))
+        assert clone.meta["instance_index"] == 7
+        assert isinstance(clone.meta["instance_index"], int)
+        assert clone.meta["server_mode"] == "apache"
+
+    def test_line_has_no_newline(self):
+        assert "\n" not in record_to_json(make_record())
+
+
+class TestFormatTag:
+    def test_payload_carries_format(self):
+        assert record_to_dict(make_record())["format"] == RECORD_FORMAT
+
+    def test_foreign_payload_rejected(self):
+        with pytest.raises(ValueError, match="session-record"):
+            record_from_dict({"features": {}})
+
+    def test_wrong_format_rejected(self):
+        payload = record_to_dict(make_record())
+        payload["format"] = "someone-elses-v9"
+        with pytest.raises(ValueError, match="session-record"):
+            record_from_dict(payload)

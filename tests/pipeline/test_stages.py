@@ -1,0 +1,172 @@
+"""Stage contract and assembly-time schema validation."""
+
+import pytest
+
+from repro.pipeline import (
+    ANY,
+    CollectSink,
+    CountSink,
+    IterableSource,
+    Pipeline,
+    SchemaError,
+    Sink,
+    Source,
+    Stage,
+    chunked,
+    validate_schema,
+)
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert list(chunked(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_ragged_tail(self):
+        assert list(chunked(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_empty_stream(self):
+        assert list(chunked([], 3)) == []
+
+    def test_chunk_larger_than_stream(self):
+        assert list(chunked([1, 2], 10)) == [[1, 2]]
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="chunk size"):
+            list(chunked([1], 0))
+
+    def test_is_lazy(self):
+        def gen():
+            yield 1
+            raise AssertionError("must not be pulled")  # pragma: no cover
+
+        stream = chunked(gen(), 1)
+        assert next(stream) == [1]
+
+
+class _Upper(Stage):
+    name = "upper"
+    CONSUMES = (ANY,)
+    PRODUCES = (ANY,)
+
+    def process(self, stream):
+        for item in stream:
+            yield item.upper()
+
+
+class TestPipelineFlow:
+    def test_items_flow_through_stages_and_sinks(self):
+        sink = CollectSink()
+        out = list(Pipeline(IterableSource(["a", "b"]), _Upper(), sink))
+        assert out == ["A", "B"]
+        assert sink.result() == ["A", "B"]
+
+    def test_run_returns_last_sink_result(self):
+        counter = CountSink()
+        result = Pipeline(IterableSource([1, 2, 3]), counter).run()
+        assert result == {"count": 3, "severity": {}}
+
+    def test_run_without_sink_returns_count(self):
+        assert Pipeline(IterableSource("abc"), _Upper()).run() == 3
+
+    def test_flow_is_lazy(self):
+        pulled = []
+
+        def gen():
+            for i in range(100):
+                pulled.append(i)
+                yield i
+
+        stream = iter(Pipeline(IterableSource(gen()), CountSink()))
+        next(stream)
+        assert len(pulled) <= 2  # one in flight, not the whole stream
+        stream.close()
+
+
+class _CompletionSink(Sink):
+    name = "completion-probe"
+
+    def __init__(self):
+        self.completed = False
+        self.closed = False
+
+    def consume(self, item):
+        pass
+
+    def on_complete(self):
+        self.completed = True
+
+    def close(self):
+        self.closed = True
+
+
+class TestSinkLifecycle:
+    def test_on_complete_fires_on_exhaustion(self):
+        sink = _CompletionSink()
+        Pipeline(IterableSource([1, 2]), sink).run()
+        assert sink.completed and sink.closed
+
+    def test_on_complete_skipped_when_interrupted(self):
+        sink = _CompletionSink()
+        stream = iter(Pipeline(IterableSource([1, 2, 3]), sink))
+        next(stream)
+        stream.close()
+        assert sink.closed
+        assert not sink.completed  # interruption must be distinguishable
+
+    def test_close_runs_even_when_stream_raises(self):
+        def boom():
+            yield 1
+            raise RuntimeError("mid-stream failure")
+
+        sink = _CompletionSink()
+        with pytest.raises(RuntimeError):
+            list(Pipeline(IterableSource(boom()), sink))
+        assert sink.closed
+        assert not sink.completed
+
+
+class _NeedsFoo(Stage):
+    name = "needs-foo"
+    CONSUMES = ("foo",)
+    PRODUCES = ("bar",)
+
+    def process(self, stream):  # pragma: no cover - schema tests never run it
+        return stream
+
+
+class _MakesFoo(Source):
+    name = "makes-foo"
+    CONSUMES = ()
+    PRODUCES = ("foo",)
+
+    def items(self):  # pragma: no cover
+        return iter(())
+
+
+class TestSchemaValidation:
+    def test_satisfied_chain_passes(self):
+        validate_schema([_MakesFoo(), _NeedsFoo()])
+
+    def test_missing_field_raises(self):
+        with pytest.raises(SchemaError, match="consumes \\['foo'\\]"):
+            Pipeline(_MakesFoo(), _NeedsFoo(), _NeedsFoo())
+
+    def test_first_stage_must_be_source(self):
+        with pytest.raises(SchemaError, match="must be a Source"):
+            Pipeline(_NeedsFoo())
+
+    def test_source_mid_chain_rejected(self):
+        with pytest.raises(SchemaError, match="can only start"):
+            Pipeline(_MakesFoo(), _MakesFoo())
+
+    def test_unknown_source_suspends_checking(self):
+        # IterableSource cannot know its item shape, so downstream
+        # CONSUMES are taken on faith rather than rejected.
+        validate_schema([IterableSource([]), _NeedsFoo()])
+
+    def test_concrete_produces_reestablishes_checking(self):
+        with pytest.raises(SchemaError, match="needs-foo"):
+            validate_schema([IterableSource([]), _NeedsFoo(), _NeedsFoo()])
+
+    def test_pass_through_preserves_schema(self):
+        validate_schema([_MakesFoo(), CollectSink(), _NeedsFoo()])
