@@ -292,6 +292,72 @@ def test_streaming_campaign_memory(report, tmp_path):
     )
 
 
+def test_telemetry_overhead(report):
+    """Tracing a campaign must cost <5% wall clock and change no record.
+
+    The observability contract: with the registry disabled every
+    instrument call is a constant-cost early return (measured here in
+    ns/call), and with it enabled the span/counter bookkeeping stays
+    under ``REPRO_TRACE_OVERHEAD_MAX`` (default 0.05) of the campaign's
+    wall clock — while the records stay bit-identical either way.
+    ``REPRO_TRACE_INSTANCES`` shrinks the reference campaign for CI.
+    """
+    from repro.obs.telemetry import Telemetry, get_telemetry, tracing
+
+    n = int(os.environ.get("REPRO_TRACE_INSTANCES", "30"))
+    max_overhead = float(os.environ.get("REPRO_TRACE_OVERHEAD_MAX", "0.05"))
+    config = CampaignConfig(n_instances=n, seed=555,
+                            video_duration_range=(8.0, 10.0))
+
+    run_campaign(CampaignConfig(n_instances=2, seed=555))  # warm imports
+
+    # alternate modes so clock drift hits both equally; keep the best of each
+    untraced_s = traced_s = float("inf")
+    untraced_records = traced_records = None
+    for _ in range(2):
+        start = time.perf_counter()
+        records = run_campaign(config)
+        untraced_s = min(untraced_s, time.perf_counter() - start)
+        untraced_records = records
+
+        with tracing() as tel:
+            start = time.perf_counter()
+            records = run_campaign(config)
+            traced_s = min(traced_s, time.perf_counter() - start)
+            traced_records = records
+            spans = len(tel.spans)
+        get_telemetry().reset()
+
+    assert ([r.features for r in traced_records]
+            == [r.features for r in untraced_records])
+    assert ([r.meta for r in traced_records]
+            == [r.meta for r in untraced_records])
+
+    # disabled-path cost: one span + one count per loop, on a dead registry
+    disabled = Telemetry()
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with disabled.span("hot"):
+            pass
+        disabled.count("hot")
+    ns_per_call = (time.perf_counter() - start) / (2 * calls) * 1e9
+
+    overhead = traced_s / untraced_s - 1.0
+    report("telemetry_overhead", "\n".join([
+        f"telemetry overhead ({n}-instance campaign, {spans} spans)",
+        f"  untraced  {untraced_s:7.2f}s",
+        f"  traced    {traced_s:7.2f}s   overhead {overhead * 100:+.2f}%",
+        f"  disabled instrument call: {ns_per_call:.0f} ns",
+        "  records bit-identical: yes",
+    ]))
+    assert spans >= n  # one campaign.instance span per instance, at least
+    assert overhead <= max_overhead, (
+        f"tracing cost {overhead * 100:.1f}% wall clock "
+        f"(budget {max_overhead * 100:.0f}%)"
+    )
+
+
 def test_c45_training_speed(benchmark):
     """C4.5 on a 1000x50 matrix with 5 classes."""
     rng = np.random.default_rng(0)

@@ -34,7 +34,8 @@ class Rule:
 
 
 #: the rule catalog.  Ids are grouped by pass: D1xx determinism,
-#: M2xx metric schema, F3xx fault lifecycle, P4xx pipeline-stage schema.
+#: M2xx metric schema, F3xx fault lifecycle, P4xx pipeline-stage schema,
+#: O5xx telemetry usage.
 RULES: Dict[str, Rule] = {
     rule.id: rule
     for rule in (
@@ -106,6 +107,15 @@ RULES: Dict[str, Rule] = {
             "concrete pipeline Stage must declare CONSUMES and PRODUCES as "
             "tuples of field-name string literals (schema of the items it "
             "reads and yields)",
+        ),
+        Rule(
+            "O501",
+            "telemetry-span-context",
+            "error",
+            "telemetry span acquired outside a `with` statement (or driven "
+            "manually via .start()/.finish()); spans nest through a stack and "
+            "must be closed by the context manager — use "
+            "Telemetry.record_span for non-lexical lifetimes",
         ),
     )
 }

@@ -10,7 +10,9 @@ thin wrapper).  Pass routing is by package-relative location:
   export modules, then matches the two sides globally;
 * the fault-lifecycle pass (F3xx) runs on ``faults/``;
 * the pipeline-schema pass (P4xx) runs on ``pipeline/`` — every concrete
-  stage must declare its ``CONSUMES``/``PRODUCES`` item fields.
+  stage must declare its ``CONSUMES``/``PRODUCES`` item fields;
+* the telemetry-usage pass (O5xx) runs on *every* file — spans must be
+  acquired as ``with`` contexts, never held or driven manually.
 
 Paths outside the ``repro`` package (e.g. test fixture trees) are routed
 by their top-level directory relative to the lint root, so the passes are
@@ -33,6 +35,7 @@ from repro.analysis.findings import (
     sort_findings,
 )
 from repro.analysis.lifecycle import check_lifecycle
+from repro.analysis.obs_usage import check_obs_usage
 from repro.analysis.pipeline_schema import check_pipeline_stages
 from repro.analysis.schema import check_schema
 from repro.analysis.suppressions import apply_suppressions, parse_suppressions
@@ -182,6 +185,8 @@ def lint_paths(
             result.parse_errors.append(f"{shown}:{exc.lineno}: syntax error")
             continue
         suppressions_by_path[shown] = parse_suppressions(source)
+
+        raw.extend(check_obs_usage(shown, source))
 
         top = _top_package(rel)
         if top in DETERMINISM_PACKAGES:

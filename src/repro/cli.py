@@ -20,9 +20,17 @@ Commands
     chunked streaming diagnosis (``--diagnose``), with constant memory.
     ``--resume`` restarts an interrupted spool at the last checkpointed
     instance, bit-identical to an uninterrupted run.
+``trace``
+    Run a campaign through the streaming pipeline with telemetry
+    enabled and print a per-stage summary (wall time, records in/out,
+    self time) plus per-worker campaign attribution.  ``--diagnose``
+    additionally traces analyzer training and batch diagnosis;
+    ``--out`` writes the raw ``repro-trace-v1`` JSONL trace;
+    ``--json`` emits the summary machine-readably.
 ``lint``
     Static analysis of the project's own invariants (determinism,
-    metric-schema consistency, fault lifecycle, pipeline-stage schemas).
+    metric-schema consistency, fault lifecycle, pipeline-stage schemas,
+    telemetry span usage).
     Exits non-zero on any finding not in the committed baseline.
 
 Campaign simulation parallelises over ``--workers`` processes (or the
@@ -43,6 +51,8 @@ Examples
         --sink lab.jsonl --resume --workers 4
     python -m repro stream --source lab.jsonl --train lab.pkl \
         --diagnose --chunk 32 --json
+    python -m repro trace --instances 50 --workers 4 --out run.jsonl
+    python -m repro trace --instances 50 --diagnose --json
     python -m repro lint src/repro --baseline lint-baseline.json
 """
 
@@ -287,6 +297,63 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import (
+        render_summary,
+        summarize,
+        tracing,
+        write_trace,
+    )
+    from repro.pipeline import (
+        CampaignSource,
+        CountSink,
+        DiagnoseStage,
+        Pipeline,
+    )
+    from repro.testbed.campaign import CampaignConfig
+    from repro.testbed.realworld import RealWorldConfig, WildConfig
+
+    kinds = {
+        "controlled": (CampaignConfig, 42),
+        "realworld": (RealWorldConfig, 1337),
+        "wild": (WildConfig, 2718),
+    }
+    config_cls, default_seed = kinds[args.kind]
+    config = config_cls(
+        n_instances=args.instances,
+        seed=args.seed if args.seed is not None else default_seed,
+    )
+
+    with tracing() as tel:
+        stages = []
+        if args.diagnose:
+            train = (_load_dataset(args.train) if args.train
+                     else _default_dataset("controlled", None,
+                                           workers=args.workers))
+            analyzer = RootCauseAnalyzer(vps=tuple(args.vps.split(","))).fit(train)
+            stages.append(DiagnoseStage(analyzer, chunk=args.chunk))
+        counter = CountSink()
+        stages.append(counter)
+        source = CampaignSource(config, workers=args.workers)
+        Pipeline(source, *stages).run()
+        payload = tel.export(
+            command="trace", kind=args.kind, instances=config.n_instances
+        )
+
+    if args.out:
+        write_trace(args.out, payload)
+    summary = summarize(payload)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+        if args.out:
+            print(f"trace written to {args.out}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     import json
 
@@ -405,6 +472,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-instance simulation progress")
     p.set_defaults(fn=cmd_stream)
+
+    p = sub.add_parser("trace",
+                       help="trace a streamed campaign and summarize it")
+    p.add_argument("--kind", choices=("controlled", "realworld", "wild"),
+                   default="controlled")
+    p.add_argument("--instances", type=int, default=50,
+                   help="campaign size (default: 50)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="campaign seed (default: the kind's canonical seed)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="simulate instances on N processes; worker spans "
+                        "are attributed per pid in the summary")
+    p.add_argument("--diagnose", action="store_true",
+                   help="also trace analyzer training and chunked diagnosis")
+    p.add_argument("--train", help="training pickle for --diagnose "
+                                   "(default: cached controlled)")
+    p.add_argument("--vps", default="mobile,router,server")
+    p.add_argument("--chunk", type=int, default=64,
+                   help="sessions per vectorized diagnosis chunk")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the raw repro-trace-v1 JSONL trace here")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as machine-readable JSON")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("lint", help="static analysis of project invariants")
     p.add_argument("paths", nargs="*",

@@ -19,7 +19,17 @@ from __future__ import annotations
 
 import itertools
 import warnings
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -51,7 +61,9 @@ class FeatureConstructor:
     def __init__(self) -> None:
         self._nic_max_rates: Dict[str, float] = {}
         self.fitted = False
-        self._warned_zero_fill = False
+        #: missing-feature sets already warned about, keyed by the sorted
+        #: tuple of names — each *distinct* missing set warns exactly once
+        self._warned_zero_fill: Set[Tuple[str, ...]] = set()
 
     # ------------------------------------------------------------------- fit
 
@@ -223,16 +235,23 @@ class FeatureConstructor:
             names = names + [name for name, _values in constructed]
         else:
             matrix = base
-        # getattr: constructors revived from older pickles predate the flag
-        if zero_filled and not getattr(self, "_warned_zero_fill", False):
-            self._warned_zero_fill = True
-            warnings.warn(
-                "transform_rows zero-filled features missing from the input "
-                f"rows: {sorted(zero_filled)}; check the metric names "
-                "against the probe schema (repro lint rule M201)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        if zero_filled:
+            # getattr/isinstance: constructors revived from older pickles
+            # predate the flag or carry its boolean predecessor.
+            warned = getattr(self, "_warned_zero_fill", None)
+            if not isinstance(warned, set):
+                warned = set()
+            self._warned_zero_fill = warned
+            missing = tuple(sorted(zero_filled))
+            if missing not in warned:
+                warned.add(missing)
+                warnings.warn(
+                    "transform_rows zero-filled features missing from the "
+                    f"input rows: {list(missing)}; check the metric names "
+                    "against the probe schema (repro lint rule M201)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return matrix, names
 
     def transform_rows_stream(

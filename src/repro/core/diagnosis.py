@@ -41,6 +41,7 @@ from repro.core.dataset import Dataset
 from repro.core.selection import FeatureSelector
 from repro.core.vantage import ALL_VPS, combo_name, features_for_vps
 from repro.ml.tree import C45Tree
+from repro.obs.telemetry import get_telemetry
 
 _TASKS = ("severity", "location", "exact")
 
@@ -150,19 +151,32 @@ class RootCauseAnalyzer:
         """Train the three task models on a labelled campaign dataset."""
         if len(dataset) < 20:
             raise ValueError("dataset too small to train a meaningful model")
-        self.constructor = FeatureConstructor().fit(dataset)
-        data = self.constructor.transform(dataset)
-        scoped = features_for_vps(data.feature_names, self.vps)
-        for task in _TASKS:
-            names = scoped
-            if self.select:
-                selector = FeatureSelector(delta=self.fs_delta)
-                selector.fit(data, label_kind=task, feature_names=scoped)
-                names = selector.selected or scoped
-            model = self.model_factory()
-            model.fit(data.to_matrix(names), data.labels(task), feature_names=names)
-            self.models[task] = model
-            self.features[task] = list(names)
+        tel = get_telemetry()
+        with tel.span(
+            "analyzer.fit", vps=combo_name(self.vps), n=len(dataset)
+        ):
+            with tel.span("analyzer.fit.construct"):
+                self.constructor = FeatureConstructor().fit(dataset)
+                data = self.constructor.transform(dataset)
+            scoped = features_for_vps(data.feature_names, self.vps)
+            for task in _TASKS:
+                with tel.span("analyzer.fit.task", task=task):
+                    names = scoped
+                    if self.select:
+                        selector = FeatureSelector(delta=self.fs_delta)
+                        selector.fit(data, label_kind=task, feature_names=scoped)
+                        names = selector.selected or scoped
+                    model = self.model_factory()
+                    with tel.span(
+                        "analyzer.fit.tree", task=task, features=len(names)
+                    ):
+                        model.fit(
+                            data.to_matrix(names),
+                            data.labels(task),
+                            feature_names=names,
+                        )
+                    self.models[task] = model
+                    self.features[task] = list(names)
         self.fitted = True
         return self
 
@@ -276,17 +290,20 @@ class RootCauseAnalyzer:
                 durations.append(0.0)
         if not rows:
             return []
-        matrix, names = self.constructor.transform_rows(rows, session_s=durations)
-        column = {name: j for j, name in enumerate(names)}
-        # Pad with one zero column so every selected feature -- present or
-        # not -- resolves with a single fancy-index per task.
-        padded = np.concatenate([matrix, np.zeros((len(rows), 1))], axis=1)
-        zero_col = padded.shape[1] - 1
-        predictions: Dict[str, Sequence[str]] = {}
-        for task in _TASKS:
-            idx = [column.get(name, zero_col) for name in self.features[task]]
-            labels = self.models[task].predict(padded[:, idx])
-            predictions[task] = [str(label) for label in np.asarray(labels).tolist()]
+        tel = get_telemetry()
+        with tel.span("diagnose.batch", sessions=len(rows)):
+            matrix, names = self.constructor.transform_rows(rows, session_s=durations)
+            column = {name: j for j, name in enumerate(names)}
+            # Pad with one zero column so every selected feature -- present or
+            # not -- resolves with a single fancy-index per task.
+            padded = np.concatenate([matrix, np.zeros((len(rows), 1))], axis=1)
+            zero_col = padded.shape[1] - 1
+            predictions: Dict[str, Sequence[str]] = {}
+            for task in _TASKS:
+                idx = [column.get(name, zero_col) for name in self.features[task]]
+                labels = self.models[task].predict(padded[:, idx])
+                predictions[task] = [str(label) for label in np.asarray(labels).tolist()]
+            tel.count("diagnose.sessions", len(rows))
         used = {t: self.features[t] for t in _TASKS}
         return [
             DiagnosisReport(

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.dataset import Dataset
 from repro.ml.fcbf import fcbf
+from repro.obs.telemetry import get_telemetry
 
 
 class FeatureSelector:
@@ -33,7 +34,12 @@ class FeatureSelector:
         names = list(feature_names) if feature_names is not None else dataset.feature_names
         X = dataset.to_matrix(names)
         y = dataset.labels(label_kind)
-        indices, su_map = fcbf(X, y, delta=self.delta, feature_names=names)
+        tel = get_telemetry()
+        with tel.span(
+            "ml.fcbf.select", task=label_kind, candidates=len(names)
+        ) as span:
+            indices, su_map = fcbf(X, y, delta=self.delta, feature_names=names)
+            span.count("selected", len(indices))
         selected = [names[j] for j in indices]
         if self.max_features is not None:
             selected = selected[: self.max_features]

@@ -8,6 +8,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ml.metrics import ConfusionMatrix
+from repro.obs.telemetry import get_telemetry
 
 
 def stratified_kfold(
@@ -47,13 +48,33 @@ def cross_validate(
     seed: int = 0,
     feature_names: Optional[Sequence[str]] = None,
 ) -> ConfusionMatrix:
-    """Train/evaluate with stratified k-fold CV; returns the pooled matrix."""
+    """Train/evaluate with stratified k-fold CV; returns the pooled matrix.
+
+    With tracing enabled each fold emits an ``ml.cv.fold`` span holding
+    ``ml.cv.fit`` / ``ml.cv.predict`` child spans, so ``repro trace``
+    can attribute training wall time per fold and per phase.
+    """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
     cm = ConfusionMatrix(list(np.unique(y)))
-    for train_idx, test_idx in stratified_kfold(y, k=k, seed=seed):
-        model = model_factory()
-        model.fit(X[train_idx], y[train_idx], feature_names=feature_names)
-        predictions = model.predict(X[test_idx])
-        cm.update(y[test_idx], predictions)
+    tel = get_telemetry()
+    with tel.span("ml.cv", k=k, n=int(len(y))) as cv:
+        for fold, (train_idx, test_idx) in enumerate(
+            stratified_kfold(y, k=k, seed=seed)
+        ):
+            with tel.span(
+                "ml.cv.fold",
+                fold=fold,
+                train=int(len(train_idx)),
+                test=int(len(test_idx)),
+            ):
+                model = model_factory()
+                with tel.span("ml.cv.fit"):
+                    model.fit(
+                        X[train_idx], y[train_idx], feature_names=feature_names
+                    )
+                with tel.span("ml.cv.predict"):
+                    predictions = model.predict(X[test_idx])
+                cm.update(y[test_idx], predictions)
+            cv.count("folds")
     return cm

@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.ml.discretize import apply_cuts, mdl_discretize
+from repro.obs.telemetry import get_telemetry
 
 
 def _entropy(x: np.ndarray) -> float:
@@ -73,32 +74,37 @@ def fcbf(
     label array.  ``feature_names`` is used for the returned SU map keys
     (falls back to column indices).
     """
+    tel = get_telemetry()
     X = np.asarray(X)
     _, y_codes = np.unique(np.asarray(y), return_inverse=True)
     if prediscretized:
         Xd = X.astype(np.int64)
     else:
-        Xd, _ = discretize_matrix(X, y_codes)
+        with tel.span("ml.fcbf.discretize", features=int(X.shape[1])):
+            Xd, _ = discretize_matrix(X, y_codes)
     n_features = Xd.shape[1]
     names = list(feature_names) if feature_names else [str(j) for j in range(n_features)]
 
-    su_class = np.array(
-        [symmetrical_uncertainty(Xd[:, j], y_codes) for j in range(n_features)]
-    )
-    candidates = [j for j in range(n_features) if su_class[j] > delta]
-    candidates.sort(key=lambda j: -su_class[j])
+    with tel.span("ml.fcbf.filter", features=n_features) as span:
+        su_class = np.array(
+            [symmetrical_uncertainty(Xd[:, j], y_codes) for j in range(n_features)]
+        )
+        candidates = [j for j in range(n_features) if su_class[j] > delta]
+        candidates.sort(key=lambda j: -su_class[j])
 
-    selected: List[int] = []
-    removed = set()
-    for i, fj in enumerate(candidates):
-        if fj in removed:
-            continue
-        selected.append(fj)
-        for fk in candidates[i + 1:]:
-            if fk in removed:
+        selected: List[int] = []
+        removed = set()
+        for i, fj in enumerate(candidates):
+            if fj in removed:
                 continue
-            su_fk_fj = symmetrical_uncertainty(Xd[:, fk], Xd[:, fj])
-            if su_fk_fj >= su_class[fk]:
-                removed.add(fk)
+            selected.append(fj)
+            for fk in candidates[i + 1:]:
+                if fk in removed:
+                    continue
+                su_fk_fj = symmetrical_uncertainty(Xd[:, fk], Xd[:, fj])
+                if su_fk_fj >= su_class[fk]:
+                    removed.add(fk)
+        span.count("candidates", len(candidates))
+        span.count("selected", len(selected))
     su_map = {names[j]: float(su_class[j]) for j in range(n_features)}
     return selected, su_map

@@ -1,0 +1,61 @@
+"""Zero-dependency observability: spans, counters, histograms, traces.
+
+The paper's framework is an always-on measurement pipeline; running it
+at production scale demands knowing where wall time and records go
+inside the campaign engine, the streaming pipeline and model training.
+This package is that layer:
+
+* :class:`Telemetry` — the process-local registry.  Disabled by default:
+  every instrument call is then a constant-cost no-op, so instrumented
+  hot paths stay bit-identical and effectively free.
+* :meth:`Telemetry.span` — nestable context-manager spans (wall time,
+  per-span counts, attrs).  ``repro lint`` rule O501 enforces the
+  ``with``-only discipline.
+* :func:`tracing` — enable collection for a block and export it.
+* :mod:`repro.obs.trace` — the ``repro-trace-v1`` JSONL interchange
+  format (write/read/merge).
+* :mod:`repro.obs.report` — per-stage summary tables (what ``repro
+  trace`` prints).
+* :mod:`repro.obs.flow` — pipeline boundary metering machinery.
+
+Quick use::
+
+    from repro.obs import tracing, write_trace, summarize, render_summary
+
+    with tracing() as tel:
+        run_campaign(config, workers=4)
+    payload = tel.export()
+    write_trace("campaign-trace.jsonl", payload)
+    print(render_summary(summarize(payload)))
+"""
+
+from repro.obs.report import render_summary, span_tree, summarize
+from repro.obs.telemetry import (
+    NULL_SPAN,
+    Histogram,
+    NullSpan,
+    Span,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    tracing,
+)
+from repro.obs.trace import TRACE_FORMAT, merge_traces, read_trace, write_trace
+
+__all__ = [
+    "Histogram",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "TRACE_FORMAT",
+    "Telemetry",
+    "get_telemetry",
+    "merge_traces",
+    "read_trace",
+    "render_summary",
+    "set_telemetry",
+    "span_tree",
+    "summarize",
+    "tracing",
+    "write_trace",
+]

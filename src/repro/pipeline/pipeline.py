@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Set
 
+from repro.obs.flow import metered_flow
+from repro.obs.telemetry import get_telemetry
 from repro.pipeline.stages import ANY, Sink, Source, Stage
 
 
@@ -84,6 +86,10 @@ class Pipeline:
             sink.close()
 
     def __iter__(self) -> Iterator[object]:
+        tel = get_telemetry()
+        if tel.enabled:
+            return self._traced_flow()
+
         def flow() -> Iterator[object]:
             stream: Iterator[object] = iter(())
             for stage in self.stages:
@@ -95,6 +101,25 @@ class Pipeline:
                 self.close()
 
         return flow()
+
+    def _traced_flow(self) -> Iterator[object]:
+        """The metered variant of the flow: identical items, plus a trace.
+
+        Each stage boundary is wrapped by a :class:`~repro.obs.flow
+        .StageMeter`; when the stream ends (normally or not) the
+        finalizer files one aggregate ``pipeline.stage.<name>`` span per
+        stage — records in/out, inclusive and self wall time — under the
+        enclosing ``pipeline.run`` span.
+        """
+        tel = get_telemetry()
+        with tel.span("pipeline.run", stages=len(self.stages)):
+            stream, finalize = metered_flow(self.stages)
+            try:
+                for item in stream:
+                    yield item
+            finally:
+                finalize()
+                self.close()
 
     def run(self) -> object:
         """Drain the pipeline; return the final sink's result."""

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, TextIO, Union
 
 from repro.core.dataset import Dataset, DatasetBuilder, Instance
+from repro.obs.telemetry import get_telemetry
 from repro.pipeline.checkpoint import (
     Checkpoint,
     clear_checkpoint,
@@ -69,6 +70,14 @@ class JsonlSink(Sink):
             self.path,
             Checkpoint(config_key=self.config_key, completed=self.completed),
         )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("pipeline.checkpoint.saves")
+            tel.event(
+                "checkpoint.save",
+                spool=str(self.path),
+                completed=self.completed,
+            )
 
     def result(self) -> object:
         return self.completed
@@ -82,6 +91,13 @@ class JsonlSink(Sink):
             self._fh = None
             if self._stream_completed and not self.keep_checkpoint:
                 clear_checkpoint(self.path)
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.event(
+                        "checkpoint.clear",
+                        spool=str(self.path),
+                        completed=self.completed,
+                    )
 
 
 class DatasetSink(Sink):

@@ -13,6 +13,14 @@ Because every instance depends only on ``(config, index, instance_seed)``,
 a ``workers=N`` run is bit-identical to the serial one.  The engine falls
 back to the serial path when ``workers <= 1``, when the platform lacks
 ``fork``, or when already inside a worker process.
+
+Telemetry: with tracing enabled (:mod:`repro.obs`), every run emits a
+``campaign.run`` span containing one ``campaign.instance`` span per
+scenario.  Parallel workers collect each instance into a scratch
+registry and ship the export back alongside the record; the parent
+absorbs it, so worker spans carry per-worker attribution while counters
+aggregate exactly as in a serial run.  Records themselves are never
+touched — traced and untraced campaigns are bit-identical.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.faults.base import FAULT_NAMES, make_fault
+from repro.obs.telemetry import Telemetry, get_telemetry, set_telemetry
 from repro.testbed.testbed import SessionRecord, Testbed, TestbedConfig
 from repro.video.catalog import VideoCatalog
 
@@ -103,9 +112,27 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     return multiprocessing.get_context("fork")
 
 
-def _run_job(job: Tuple[InstanceFn, object, int, int]) -> SessionRecord:
-    instance_fn, config, index, instance_seed = job
-    return instance_fn(config, index, instance_seed)
+#: one pool job: ``(fn, config, index, seed, traced)``
+_Job = Tuple[InstanceFn, object, int, int, bool]
+
+#: one pool result: the record plus the worker's trace payload (if traced)
+_JobResult = Tuple[SessionRecord, Optional[Dict[str, object]]]
+
+
+def _run_job(job: _Job) -> _JobResult:
+    instance_fn, config, index, instance_seed, traced = job
+    if not traced:
+        return instance_fn(config, index, instance_seed), None
+    # Collect into a scratch registry so only this instance's data ships
+    # back: the worker's inherited (forked) registry stays untouched.
+    local = Telemetry(enabled=True)
+    previous = set_telemetry(local)
+    try:
+        with local.span("campaign.instance", index=index):
+            record = instance_fn(config, index, instance_seed)
+    finally:
+        set_telemetry(previous)
+    return record, local.export()
 
 
 def iter_instances(
@@ -136,27 +163,36 @@ def iter_instances(
     context = _fork_context() if workers > 1 else None
     if multiprocessing.current_process().daemon:
         context = None  # no nested pools inside a worker
-    if context is None or workers <= 1:
-        for offset, instance_seed in enumerate(seeds):
-            index = start + offset
-            record = instance_fn(config, index, instance_seed)
-            if progress is not None:
-                progress(index, record)
-            yield record
-        return
-    if chunksize is None:
-        # Small chunks keep the pool load-balanced (instances are seconds
-        # each) while still amortising dispatch for large campaigns.
-        chunksize = max(1, min(4, n // (workers * 4)))
-    jobs = [
-        (instance_fn, config, start + offset, seed)
-        for offset, seed in enumerate(seeds)
-    ]
-    with context.Pool(processes=workers) as pool:
-        for offset, record in enumerate(pool.imap(_run_job, jobs, chunksize=chunksize)):
-            if progress is not None:
-                progress(start + offset, record)
-            yield record
+    tel = get_telemetry()
+    with tel.span("campaign.run", n=n, workers=workers, start=start) as run:
+        if context is None or workers <= 1:
+            for offset, instance_seed in enumerate(seeds):
+                index = start + offset
+                with tel.span("campaign.instance", index=index):
+                    record = instance_fn(config, index, instance_seed)
+                run.count("instances")
+                if progress is not None:
+                    progress(index, record)
+                yield record
+            return
+        if chunksize is None:
+            # Small chunks keep the pool load-balanced (instances are seconds
+            # each) while still amortising dispatch for large campaigns.
+            chunksize = max(1, min(4, n // (workers * 4)))
+        jobs: List[_Job] = [
+            (instance_fn, config, start + offset, seed, tel.enabled)
+            for offset, seed in enumerate(seeds)
+        ]
+        with context.Pool(processes=workers) as pool:
+            for offset, (record, payload) in enumerate(
+                pool.imap(_run_job, jobs, chunksize=chunksize)
+            ):
+                if payload is not None:
+                    tel.absorb(payload)
+                run.count("instances")
+                if progress is not None:
+                    progress(start + offset, record)
+                yield record
 
 
 @functools.lru_cache(maxsize=8)

@@ -135,6 +135,43 @@ class TestTransformRows:
             warnings.simplefilter("error")
             fc.transform_rows(rows)
 
+    def test_zero_fill_refires_for_different_missing_set(self, dataset):
+        fc = FeatureConstructor().fit(dataset)
+        full = dict(dataset[0].features)
+        with pytest.warns(RuntimeWarning, match="mobile_tcp_s2c_retx_pkts"):
+            fc.transform_rows([full, {"mobile_hw_cpu_avg": 0.9}])
+        # a *different* missing set is a different problem: warn again
+        partial = {k: v for k, v in full.items()
+                   if k != "mobile_tcp_flow_duration"}
+        with pytest.warns(RuntimeWarning, match="mobile_tcp_flow_duration"):
+            fc.transform_rows([full, partial])
+        # but each already-reported set stays silent on repeat
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fc.transform_rows([full, {"mobile_hw_cpu_avg": 0.9}])
+            fc.transform_rows([full, partial])
+
+    def test_zero_fill_warns_on_missing_total_column(self, dataset):
+        # homogeneous rows that lack the normalisation denominator hit the
+        # other zero-fill path (missing total column, not ragged rows)
+        fc = FeatureConstructor().fit(dataset)
+        rows = [
+            {k: v for k, v in inst.features.items()
+             if k != "mobile_tcp_s2c_pkts"}
+            for inst in dataset
+        ]
+        with pytest.warns(RuntimeWarning, match="mobile_tcp_s2c_pkts"):
+            matrix, names = fc.transform_rows(rows)
+        got = dict(zip(names, matrix[0]))
+        assert got["mobile_tcp_s2c_retx_pkts_norm"] == 0.0
+        # same missing set again: silent; a different one: warns
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fc.transform_rows(rows)
+        ragged = [dict(dataset[0].features), {"mobile_hw_cpu_avg": 0.9}]
+        with pytest.warns(RuntimeWarning):
+            fc.transform_rows(ragged)
+
     def test_homogeneous_complete_rows_do_not_warn(self, dataset):
         fc = FeatureConstructor().fit(dataset)
         rows = [inst.features for inst in dataset]

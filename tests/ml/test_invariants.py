@@ -1,0 +1,168 @@
+"""Seeded invariant tests for the ML kernels.
+
+These pin the *structural* guarantees the paper's pipeline relies on —
+partition exactness and balance for stratified CV, cut-point sanity for
+MDL discretisation, ordering and redundancy-elimination for FCBF — over
+many randomly generated inputs, not just the happy-path fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.cross_validation import stratified_kfold
+from repro.ml.discretize import apply_cuts, mdl_discretize
+from repro.ml.fcbf import fcbf, symmetrical_uncertainty
+
+
+def _random_labels(rng: np.random.Generator):
+    """A random label vector with 2-5 classes and 12-80 instances."""
+    n_classes = int(rng.integers(2, 6))
+    n = int(rng.integers(12, 81))
+    labels = rng.integers(0, n_classes, size=n)
+    # ensure at least 2 distinct classes are actually present
+    labels[0], labels[1] = 0, 1
+    return np.array([f"class_{c}" for c in labels])
+
+
+class TestStratifiedKFoldInvariants:
+    @pytest.mark.parametrize("case", range(50))
+    def test_partition_and_balance(self, case):
+        rng = np.random.default_rng(1000 + case)
+        y = _random_labels(rng)
+        k = int(rng.integers(2, min(10, len(y)) + 1))
+        splits = stratified_kfold(y, k=k, seed=case)
+        assert len(splits) == k
+
+        # every index lands in exactly one test fold...
+        all_test = np.concatenate([test for _train, test in splits])
+        assert sorted(all_test.tolist()) == list(range(len(y)))
+        for train, test in splits:
+            # ...and each split is an exact partition of the dataset
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == len(y)
+
+        # per-class fold sizes differ by at most one
+        for label in np.unique(y):
+            class_idx = set(np.nonzero(y == label)[0].tolist())
+            per_fold = [len(class_idx.intersection(test.tolist()))
+                        for _train, test in splits]
+            assert max(per_fold) - min(per_fold) <= 1
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_reproducible_for_fixed_seed(self, case):
+        rng = np.random.default_rng(2000 + case)
+        y = _random_labels(rng)
+        first = stratified_kfold(y, k=4, seed=123)
+        second = stratified_kfold(y, k=4, seed=123)
+        for (tr1, te1), (tr2, te2) in zip(first, second):
+            assert np.array_equal(tr1, tr2)
+            assert np.array_equal(te1, te2)
+
+    def test_rejects_too_few_instances(self):
+        with pytest.raises(ValueError):
+            stratified_kfold(np.array(["a", "b", "a"]), k=4)
+
+
+class TestDiscretizeInvariants:
+    @pytest.mark.parametrize("case", range(20))
+    def test_cut_points_sorted_strict_and_in_range(self, case):
+        rng = np.random.default_rng(3000 + case)
+        n = int(rng.integers(20, 200))
+        values = rng.normal(0, 1, n)
+        labels = (values + rng.normal(0, 0.4, n) > 0).astype(int)
+        cuts = mdl_discretize(values, labels)
+        assert cuts == sorted(cuts)
+        assert all(b > a for a, b in zip(cuts, cuts[1:]))
+        if cuts:
+            assert values.min() < cuts[0]
+            assert cuts[-1] < values.max()
+
+    @pytest.mark.parametrize("case", range(20))
+    def test_apply_cuts_is_monotone(self, case):
+        rng = np.random.default_rng(4000 + case)
+        values = rng.normal(0, 2, 100)
+        labels = (values > 0.5).astype(int)
+        cuts = mdl_discretize(values, labels)
+        bins = apply_cuts(values, cuts)
+        assert bins.min() >= 0
+        assert bins.max() <= len(cuts)
+        order = np.argsort(values, kind="mergesort")
+        sorted_bins = bins[order]
+        assert np.all(np.diff(sorted_bins) >= 0)
+
+    def test_permutation_invariance(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(0, 1, 80)
+        labels = (values > 0).astype(int)
+        cuts = mdl_discretize(values, labels)
+        perm = rng.permutation(80)
+        assert mdl_discretize(values[perm], labels[perm]) == cuts
+
+    def test_uninformative_attribute_gets_no_cuts(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(0, 1, 100)
+        labels = rng.integers(0, 2, 100)  # independent of the values
+        assert mdl_discretize(values, labels) == []
+
+    def test_constant_attribute_gets_no_cuts(self):
+        values = np.full(50, 3.25)
+        labels = np.arange(50) % 2
+        assert mdl_discretize(values, labels) == []
+        assert np.all(apply_cuts(values, []) == 0)
+
+
+def _fcbf_matrix(rng: np.random.Generator, n: int = 150):
+    """Columns: strongly informative, weaker, duplicate, noise."""
+    y = rng.integers(0, 2, n)
+    strong = y * 2.0 + rng.normal(0, 0.2, n)
+    weak = y * 1.0 + rng.normal(0, 0.8, n)
+    noise = rng.normal(0, 1, n)
+    X = np.column_stack([strong, strong, weak, noise])
+    return X, np.array(["bad", "good"])[y]
+
+
+class TestFCBFInvariants:
+    @pytest.mark.parametrize("case", range(10))
+    def test_selection_order_is_decreasing_su(self, case):
+        rng = np.random.default_rng(6000 + case)
+        X, y = _fcbf_matrix(rng)
+        names = ["strong", "dup", "weak", "noise"]
+        selected, su_map = fcbf(X, y, delta=0.0, feature_names=names)
+        sus = [su_map[names[j]] for j in selected]
+        assert sus == sorted(sus, reverse=True)
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_selected_su_exceeds_delta(self, case):
+        rng = np.random.default_rng(7000 + case)
+        X, y = _fcbf_matrix(rng)
+        delta = 0.05
+        selected, su_map = fcbf(X, y, delta=delta)
+        for j in selected:
+            assert su_map[str(j)] > delta
+
+    def test_duplicate_column_is_redundant(self):
+        rng = np.random.default_rng(8)
+        X, y = _fcbf_matrix(rng)
+        selected, _su = fcbf(X, y, delta=0.0)
+        # columns 0 and 1 are identical: an approximate Markov blanket —
+        # at most one of the pair survives
+        assert len({0, 1}.intersection(selected)) == 1
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(9)
+        X, y = _fcbf_matrix(rng)
+        first = fcbf(X, y, delta=0.01)
+        second = fcbf(X, y, delta=0.01)
+        assert first == second
+
+    def test_su_bounds_and_symmetry(self):
+        rng = np.random.default_rng(10)
+        a = rng.integers(0, 3, 200)
+        b = rng.integers(0, 3, 200)
+        su_ab = symmetrical_uncertainty(a, b)
+        su_ba = symmetrical_uncertainty(b, a)
+        assert su_ab == pytest.approx(su_ba)
+        assert 0.0 <= su_ab <= 1.0
+        assert symmetrical_uncertainty(a, a) == pytest.approx(1.0)

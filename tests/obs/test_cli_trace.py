@@ -1,0 +1,60 @@
+"""CLI tests for ``repro trace``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.telemetry import get_telemetry
+from repro.obs.trace import read_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    tel = get_telemetry()
+    tel.disable()
+    tel.reset()
+
+
+ARGS = ["trace", "--instances", "4", "--seed", "77"]
+
+
+def test_trace_prints_stage_table(capsys):
+    assert main(ARGS) == 0
+    out = capsys.readouterr().out
+    assert "trace: wall" in out
+    assert "stage" in out and "inclusive" in out and "self" in out
+    assert "campaign" in out and "count" in out
+    assert "campaign: 4 instances" in out
+    assert "pipeline.count.records_out = 4" in out
+
+
+def test_trace_json_summary(capsys):
+    assert main(ARGS + ["--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["campaign"]["instances"] == 4
+    stages = {row["stage"]: row for row in summary["stages"]}
+    assert stages["campaign"]["records_out"] == 4
+    assert stages["count"]["records_in"] == 4
+    assert summary["wall_s"] > 0
+
+
+def test_trace_out_writes_readable_trace(tmp_path, capsys):
+    out_path = tmp_path / "run.jsonl"
+    assert main(ARGS + ["--out", str(out_path)]) == 0
+    assert f"trace written to {out_path}" in capsys.readouterr().out
+    payload = read_trace(out_path)
+    assert payload["meta"]["command"] == "trace"
+    assert payload["meta"]["instances"] == 4
+    names = {span["name"] for span in payload["spans"]}
+    assert "campaign.run" in names
+    assert "campaign.instance" in names
+    assert any(name.startswith("pipeline.stage.") for name in names)
+
+
+def test_trace_leaves_registry_disabled():
+    assert main(ARGS) == 0
+    assert not get_telemetry().enabled

@@ -44,6 +44,11 @@ PUBLIC_MODULES = [
     "repro.testbed.devices",
     "repro.ml",
     "repro.core",
+    "repro.obs",
+    "repro.obs.telemetry",
+    "repro.obs.trace",
+    "repro.obs.report",
+    "repro.obs.flow",
     "repro.experiments",
     "repro.cli",
 ]
@@ -73,7 +78,7 @@ def test_public_classes_documented(name):
 def test_dunder_all_resolves():
     for name in ("repro", "repro.simnet", "repro.ml", "repro.core",
                  "repro.probes", "repro.faults", "repro.video",
-                 "repro.testbed", "repro.traffic"):
+                 "repro.testbed", "repro.traffic", "repro.obs"):
         module = importlib.import_module(name)
         for symbol in getattr(module, "__all__", []):
             assert hasattr(module, symbol), f"{name}.{symbol} missing"
