@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.simnet.engine import Simulator
 from repro.simnet.node import Interface, Tap
 from repro.simnet.packet import FlowKey, Packet, TCP
+from repro.simnet.trace import PacketTrace
 
 #: hole-filling data arriving later than this is judged a retransmission
 #: rather than reordering (tstat's RTT-based disambiguation).
@@ -148,12 +149,17 @@ class DirectionStats:
             self.iat.add(now - self.last_time)
         self.last_time = now
         self.pkts += 1
-        self.bytes += pkt.size
+        size = pkt.size
+        self.bytes += size
+        bins = self._second_bins
         bucket = int(now)
-        if len(self._second_bins) < 4096:
-            self._second_bins[bucket] = self._second_bins.get(bucket, 0) + pkt.size
-        self.ttl_min = min(self.ttl_min, pkt.ttl)
-        self.ttl_max = max(self.ttl_max, pkt.ttl)
+        if len(bins) < 4096:
+            bins[bucket] = bins.get(bucket, 0) + size
+        ttl = pkt.ttl
+        if ttl < self.ttl_min:
+            self.ttl_min = ttl
+        if ttl > self.ttl_max:
+            self.ttl_max = ttl
         self.win_stats.add(pkt.wnd)
         if pkt.wnd == 0:
             self.win_zero += 1
@@ -314,6 +320,9 @@ class FlowStats:
 
     def __init__(self, key: FlowKey):
         self.key = key  # c2s orientation (client = initiator)
+        # Cached for the per-packet direction test (no tuple construction).
+        self._c_src = key.src
+        self._c_sport = key.sport
         self.c2s = DirectionStats()
         self.s2c = DirectionStats()
         self.start_time: Optional[float] = None
@@ -326,7 +335,7 @@ class FlowStats:
         if self.start_time is None:
             self.start_time = now
         self.end_time = now
-        forward = (pkt.src, pkt.sport) == (self.key.src, self.key.sport)
+        forward = pkt.src == self._c_src and pkt.sport == self._c_sport
         direction = self.c2s if forward else self.s2c
         opposite = self.s2c if forward else self.c2s
         direction.on_packet(pkt, now)
@@ -370,14 +379,30 @@ class FlowStats:
 
 
 class TstatProbe:
-    """Passive flow monitor attached to one interface."""
+    """Passive flow monitor attached to one interface.
 
-    def __init__(self, sim: Simulator, name: str = "tstat"):
+    Metrics are streaming accumulators: per-packet observation updates
+    rolling counters and Welford moments, never a growing packet list.
+    Pass ``retain_trace=True`` to additionally keep the raw TCP packets
+    in a :class:`~repro.simnet.trace.PacketTrace` (``.trace``) for
+    offline replay or persistence -- off by default, since retention
+    turns a constant-memory probe into an O(packets) one.
+    """
+
+    def __init__(
+        self, sim: Simulator, name: str = "tstat", retain_trace: bool = False
+    ):
         self.sim = sim
         self.name = name
         self.flows: Dict[FlowKey, FlowStats] = {}
+        # Per-packet lookup table holding BOTH orientations of every flow
+        # key, so the hot path never constructs a reversed FlowKey.
+        self._by_key: Dict[FlowKey, FlowStats] = {}
         self._taps: List[Tuple[Interface, Tap]] = []
         self.enabled = True
+        self.trace: Optional[PacketTrace] = (
+            PacketTrace(description=name) if retain_trace else None
+        )
 
     # -- attachment ----------------------------------------------------------
 
@@ -388,8 +413,7 @@ class TstatProbe:
 
     def detach(self) -> None:
         for iface, tap in self._taps:
-            if tap in iface.taps:
-                iface.taps.remove(tap)
+            iface.remove_tap(tap)
         self._taps.clear()
 
     # -- observation ----------------------------------------------------------
@@ -397,10 +421,10 @@ class TstatProbe:
     def _observe(self, pkt: Packet, direction: str, now: float) -> None:
         if not self.enabled or pkt.proto != TCP:
             return
+        if self.trace is not None:
+            self.trace.record(pkt, direction, now)
         key = pkt.flow_key
-        flow = self.flows.get(key)
-        if flow is None:
-            flow = self.flows.get(key.reversed())
+        flow = self._by_key.get(key)
         if flow is None:
             # Orient the flow: the SYN sender is the client.  If we missed
             # the SYN, fall back to canonical orientation.
@@ -412,12 +436,14 @@ class TstatProbe:
                 oriented = key.canonical()
             flow = FlowStats(oriented)
             self.flows[oriented] = flow
+            self._by_key[oriented] = flow
+            self._by_key[oriented.reversed()] = flow
         flow.on_packet(pkt, now)
 
     # -- accessors -----------------------------------------------------------
 
     def flow(self, key: FlowKey) -> Optional[FlowStats]:
-        return self.flows.get(key) or self.flows.get(key.reversed())
+        return self._by_key.get(key)
 
     def metrics_for(self, key: FlowKey) -> Dict[str, float]:
         """tstat metrics for one flow; all-zero dict if never observed."""
@@ -428,3 +454,6 @@ class TstatProbe:
 
     def reset(self) -> None:
         self.flows.clear()
+        self._by_key.clear()
+        if self.trace is not None:
+            self.trace.entries.clear()

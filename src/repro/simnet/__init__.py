@@ -17,8 +17,24 @@ This package provides the equivalent substrate in simulation:
   rate adaptation, airtime sharing, interference and link-layer retries.
 """
 
-from repro.simnet.engine import Simulator, Event
-from repro.simnet.packet import Packet, FlowKey, TCP, UDP
+from repro.simnet.engine import (
+    Simulator,
+    Event,
+    CalendarScheduler,
+    ReferenceScheduler,
+    SCHEDULERS,
+    make_scheduler,
+)
+from repro.simnet.packet import (
+    Packet,
+    FlowKey,
+    TCP,
+    UDP,
+    free_packet,
+    sweep_freed_packets,
+    pool_stats,
+)
+from repro.simnet.rng import BatchedRandom, make_random, resolve_rng_mode
 from repro.simnet.link import Channel, NetemChannel, DuplexLink
 from repro.simnet.node import Node, Host, Router, Interface, Tap
 from repro.simnet.tcp import TcpEndpoint, TcpServer, open_connection
@@ -30,10 +46,20 @@ from repro.simnet.trace import PacketTrace, TraceRecorder
 __all__ = [
     "Simulator",
     "Event",
+    "CalendarScheduler",
+    "ReferenceScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "BatchedRandom",
+    "make_random",
+    "resolve_rng_mode",
     "Packet",
     "FlowKey",
     "TCP",
     "UDP",
+    "free_packet",
+    "sweep_freed_packets",
+    "pool_stats",
     "Channel",
     "NetemChannel",
     "DuplexLink",

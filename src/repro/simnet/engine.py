@@ -1,10 +1,37 @@
 """Discrete-event simulation engine.
 
-A single :class:`Simulator` owns the virtual clock, the event heap and all
-randomness.  Every stochastic component in the testbed (loss draws, netem
-jitter, background traffic inter-arrivals, RSSI shadowing, ...) pulls from
-the simulator's seeded generators so that a campaign is fully reproducible
-from its seed, as required by the evaluation pipeline.
+A single :class:`Simulator` owns the virtual clock, the pending-event queue
+and all randomness.  Every stochastic component in the testbed (loss draws,
+netem jitter, background traffic inter-arrivals, RSSI shadowing, ...) pulls
+from the simulator's seeded generators so that a campaign is fully
+reproducible from its seed, as required by the evaluation pipeline.
+
+Two interchangeable schedulers implement the pending queue:
+
+* :class:`CalendarScheduler` (the default) -- a calendar queue: a ring of
+  time buckets, each an independent binary heap keyed on ``(time, seq)``,
+  plus an overflow heap for events beyond the ring's horizon.  Most pushes
+  and pops touch a heap of only the events sharing one bucket, and the
+  heap entries are plain tuples so ordering comparisons run in C.
+* :class:`ReferenceScheduler` -- the original single binary heap, kept as
+  the semantic reference for differential testing.
+
+Both order events by ``(time, seq)``: among equal timestamps, schedule
+(FIFO) order wins, and the two schedulers are observably identical --
+the equivalence suite pins campaign records as bit-identical across them.
+
+Scheduling has two tiers.  :meth:`Simulator.schedule` returns a
+cancellable :class:`Event` handle; :meth:`Simulator.post` is the
+fire-and-forget fast path used by the data plane (packet serialization,
+delivery, forwarding), which queues a bare ``(time, seq, bucket, fn,
+args)`` tuple with no handle object at all.  The dispatch loop lives in
+the scheduler so the hot path runs over locals; both tiers share one
+sequence counter, so FIFO ordering across tiers is exact.
+
+Cancelled events are purged lazily, but each scheduler counts its dead
+entries and compacts the queue when more than half the entries are
+cancelled, so a workload that schedules and cancels many timers (TCP RTO
+rearming, probe sampling) keeps the queue bounded by the live event count.
 """
 
 from __future__ import annotations
@@ -12,14 +39,40 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import random
-from typing import Any, Callable, Optional
+import os
+import sys
+from sys import getrefcount
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simnet.packet import _graveyard as _packet_graveyard
+from repro.simnet.packet import sweep_freed_packets
+from repro.simnet.rng import make_random, resolve_rng_mode
+
+#: events recycled through the per-simulator free list (steady state keeps
+#: allocation near zero; the cap only bounds a burst of simultaneous events)
+_EVENT_POOL_MAX = 256
+
+#: calendar geometry: 512 buckets of 0.5 ms cover a 256 ms horizon, sized
+#: for the testbed's event mix (sub-ms wifi slots and serialization times,
+#: tens-of-ms propagation and delayed-ACK timers); RTOs and 1 s probe
+#: timers live in the overflow heap and migrate in one revolution early.
+_BUCKET_WIDTH_S = 5e-4
+_N_BUCKETS = 512
+
+#: bucket-number stand-in for "no limit" (compares above any real bucket)
+_MAX_K = sys.maxsize
+
+# A queue entry is (time, seq, bucket, fn_or_event, args_or_None): a plain
+# Event for the cancellable tier (args is None), or the callback and its
+# argument tuple directly for the post() tier.  ``seq`` is unique, so heap
+# comparisons never look past it and ordering is exactly (time, seq).
+_SchedEntry = Tuple[float, int, int, Any, Optional[tuple]]
 
 
 class Event:
     """A scheduled callback; cancellable handle returned by ``schedule``."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_queue")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
         self.time = time
@@ -27,12 +80,18 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queue = None  # owning scheduler while queued (for accounting)
 
     def cancel(self) -> None:
         """Prevent the callback from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None
         self.args = ()
+        queue = self._queue
+        if queue is not None:
+            queue.note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -44,64 +103,434 @@ class Event:
         return f"Event(t={self.time:.6f}, {state})"
 
 
+def _entry_live(entry: _SchedEntry) -> bool:
+    return entry[4] is not None or not entry[3].cancelled
+
+
+class ReferenceScheduler:
+    """The original single binary heap, kept for differential testing."""
+
+    name = "reference"
+
+    def __init__(self) -> None:
+        self._heap: List[_SchedEntry] = []
+        self._cancelled = 0
+
+    def insert(self, time: float, seq: int, fn: Any, args: Optional[tuple]) -> None:
+        heapq.heappush(self._heap, (time, seq, 0, fn, args))
+
+    def make_post(self, sim: "Simulator", seq: Any) -> Callable[..., None]:
+        """Build the fire-and-forget fast path bound to this queue.
+
+        The returned closure is installed as ``sim.post``: it fuses the
+        sequence draw and the heap push into one call frame.  Capturing
+        the heap list is safe because :meth:`compact` rebuilds in place.
+        """
+        heap = self._heap
+        heappush = heapq.heappush
+        seq_next = seq.__next__
+
+        def post(delay: float, fn: Callable, *args: Any) -> None:
+            if delay < 0:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            heappush(heap, (sim.now + delay, seq_next(), 0, fn, args))
+
+        return post
+
+    def _run(self, sim: "Simulator", limit: float) -> int:
+        """Dispatch events with ``time <= limit``; returns the count run."""
+        heap = self._heap
+        heappop = heapq.heappop
+        refcount = getrefcount
+        pool_max = _EVENT_POOL_MAX
+        free = sim._free_events
+        grave = _packet_graveyard
+        sweep = sweep_freed_packets
+        n = 0
+        while sim._running and heap:
+            head = heap[0]
+            if head[0] > limit:
+                break
+            heappop(heap)
+            fn = head[3]
+            args = head[4]
+            if args is None:
+                event = fn
+                event._queue = None
+                if event.cancelled:
+                    self._cancelled -= 1
+                    head = None
+                    if len(free) < pool_max and refcount(event) == 2:
+                        free.append(event)
+                    continue
+                sim.now = head[0]
+                fn = event.fn
+                args = event.args
+                event.fn = None
+                event.args = ()
+                head = None
+                fn(*args)
+                n += 1
+                args = None
+                if len(free) < pool_max and refcount(event) == 2:
+                    free.append(event)
+            else:
+                sim.now = head[0]
+                head = None
+                fn(*args)
+                n += 1
+                args = None
+            if grave:
+                sweep()
+        return n
+
+    def note_cancel(self) -> None:
+        self._cancelled += 1
+        if self._cancelled > 32 and self._cancelled * 2 > len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        # In-place so dispatch loops holding a reference stay valid.
+        self._heap[:] = [e for e in self._heap if _entry_live(e)]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    def pending(self) -> int:
+        return len(self._heap) - self._cancelled
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarScheduler:
+    """Calendar queue: bucketed near-future ring + far-future overflow heap.
+
+    The third entry field holds the event's absolute bucket number
+    ``k = int(time / width)`` (monotone in ``time``, so bucket order can
+    never contradict time order).  The ring covers buckets
+    ``[cursor, cursor + n_buckets)``; later events wait in ``_far`` and
+    migrate into the ring one revolution ahead of the cursor.  When the
+    ring empties the cursor jumps directly to the far head's bucket, so
+    sparse workloads never scan empty buckets.
+    """
+
+    name = "calendar"
+
+    def __init__(
+        self, bucket_width: float = _BUCKET_WIDTH_S, n_buckets: int = _N_BUCKETS
+    ) -> None:
+        if bucket_width <= 0 or n_buckets < 2:
+            raise ValueError("calendar needs a positive width and >= 2 buckets")
+        self._width = float(bucket_width)
+        self._nb = int(n_buckets)
+        self._buckets: List[List[_SchedEntry]] = [[] for _ in range(self._nb)]
+        self._far: List[_SchedEntry] = []
+        self._cursor = 0  # absolute bucket number currently being drained
+        self._ring_n = 0  # entries (live + cancelled) in the ring
+        self._far_n = 0
+        self._cancelled = 0
+
+    def insert(self, time: float, seq: int, fn: Any, args: Optional[tuple]) -> None:
+        k = int(time / self._width)
+        cursor = self._cursor
+        if k < cursor:
+            # Only reachable through float rounding at a bucket boundary;
+            # the current bucket's heap still orders it correctly by time.
+            k = cursor
+        if k - cursor < self._nb:
+            heapq.heappush(self._buckets[k % self._nb], (time, seq, k, fn, args))
+            self._ring_n += 1
+        else:
+            heapq.heappush(self._far, (time, seq, k, fn, args))
+            self._far_n += 1
+
+    def make_post(self, sim: "Simulator", seq: Any) -> Callable[..., None]:
+        """Build the fire-and-forget fast path bound to this queue.
+
+        The returned closure is installed as ``sim.post``: it fuses the
+        sequence draw and the bucket insert into one call frame.  The
+        bucket ring and far heap are captured directly, which is safe
+        because :meth:`compact` rebuilds both in place.
+        """
+        buckets = self._buckets
+        nb = self._nb
+        width = self._width
+        far = self._far
+        heappush = heapq.heappush
+        seq_next = seq.__next__
+
+        def post(delay: float, fn: Callable, *args: Any) -> None:
+            if delay < 0:
+                raise ValueError(f"cannot schedule in the past (delay={delay})")
+            time = sim.now + delay
+            k = int(time / width)
+            cursor = self._cursor
+            if k < cursor:
+                k = cursor
+            if k - cursor < nb:
+                heappush(buckets[k % nb], (time, seq_next(), k, fn, args))
+                self._ring_n += 1
+            else:
+                heappush(far, (time, seq_next(), k, fn, args))
+                self._far_n += 1
+
+        return post
+
+    def _run(self, sim: "Simulator", limit: float) -> int:
+        """Dispatch events with ``time <= limit``; returns the count run."""
+        buckets = self._buckets
+        nb = self._nb
+        heappop = heapq.heappop
+        refcount = getrefcount
+        pool_max = _EVENT_POOL_MAX
+        free = sim._free_events
+        grave = _packet_graveyard
+        sweep = sweep_freed_packets
+        limit_k = _MAX_K if limit == math.inf else int(limit / self._width)
+        n = 0
+        cursor = self._cursor
+        while sim._running:
+            if self._ring_n:
+                bucket = buckets[cursor % nb]
+                if bucket:
+                    head = bucket[0]
+                    # Entries whose bucket number belongs to a later
+                    # revolution share the heap but sort after this one's.
+                    if head[2] == cursor:
+                        if head[0] > limit:
+                            break
+                        heappop(bucket)
+                        self._ring_n -= 1
+                        fn = head[3]
+                        args = head[4]
+                        if args is None:
+                            event = fn
+                            event._queue = None
+                            if event.cancelled:
+                                self._cancelled -= 1
+                                head = None
+                                if len(free) < pool_max and refcount(event) == 2:
+                                    free.append(event)
+                                continue
+                            sim.now = head[0]
+                            fn = event.fn
+                            args = event.args
+                            event.fn = None
+                            event.args = ()
+                            head = None
+                            fn(*args)
+                            n += 1
+                            args = None
+                            if len(free) < pool_max and refcount(event) == 2:
+                                free.append(event)
+                        else:
+                            sim.now = head[0]
+                            head = None
+                            fn(*args)
+                            n += 1
+                            args = None
+                        if grave:
+                            sweep()
+                        continue
+                # Bucket exhausted for this revolution.  Any event with
+                # time <= limit has bucket number <= limit_k, so the
+                # cursor never needs to pass limit_k.
+                if limit_k <= cursor:
+                    break
+                cursor += 1
+                self._cursor = cursor
+                if not cursor % nb:
+                    self._drain_far()
+                continue
+            # Ring empty: discard dead far heads, then jump the cursor
+            # straight to the far head's bucket (sparse fast-forward).
+            far = self._far
+            while far:
+                h = far[0]
+                if h[4] is None and h[3].cancelled:
+                    heappop(far)
+                    self._far_n -= 1
+                    self._cancelled -= 1
+                    continue
+                break
+            if not far or far[0][0] > limit:
+                break
+            cursor = self._cursor = far[0][2]
+            self._drain_far()
+        return n
+
+    def _drain_far(self) -> None:
+        """Move far events that now fall inside the ring window."""
+        far = self._far
+        end = self._cursor + self._nb
+        nb = self._nb
+        buckets = self._buckets
+        while far and far[0][2] < end:
+            entry = heapq.heappop(far)
+            self._far_n -= 1
+            if entry[4] is None and entry[3].cancelled:
+                self._cancelled -= 1
+                continue
+            heapq.heappush(buckets[entry[2] % nb], entry)
+            self._ring_n += 1
+
+    def note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled > 32
+            and self._cancelled * 2 > self._ring_n + self._far_n
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries from every bucket and the far heap."""
+        # All rebuilds are in place (same list objects) so dispatch loops
+        # holding references across a callback-triggered compact stay valid.
+        nb = self._nb
+        buckets = self._buckets
+        end = self._cursor + nb
+        ring: List[_SchedEntry] = []
+        for bucket in buckets:
+            ring.extend(e for e in bucket if _entry_live(e))
+            del bucket[:]
+        far_keep: List[_SchedEntry] = []
+        for e in self._far:
+            if not _entry_live(e):
+                continue
+            if e[2] < end:
+                ring.append(e)
+            else:
+                far_keep.append(e)
+        for e in ring:
+            buckets[e[2] % nb].append(e)
+        for bucket in buckets:
+            if bucket:
+                heapq.heapify(bucket)
+        self._far[:] = far_keep
+        heapq.heapify(self._far)
+        self._ring_n = len(ring)
+        self._far_n = len(far_keep)
+        self._cancelled = 0
+
+    def pending(self) -> int:
+        return self._ring_n + self._far_n - self._cancelled
+
+    def __len__(self) -> int:
+        return self._ring_n + self._far_n
+
+
+SCHEDULERS = {
+    "calendar": CalendarScheduler,
+    "reference": ReferenceScheduler,
+}
+
+
+def make_scheduler(name: Optional[str] = None):
+    """Build a scheduler by name (default: ``REPRO_SIMNET_SCHEDULER`` env)."""
+    resolved = name or os.environ.get("REPRO_SIMNET_SCHEDULER") or "calendar"
+    try:
+        return SCHEDULERS[resolved]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {resolved!r} (expected one of "
+            f"{sorted(SCHEDULERS)})"
+        ) from None
+
+
 class Simulator:
     """Event loop with a virtual clock and seeded random sources.
 
     Parameters
     ----------
     seed:
-        Seed for both the ``random.Random`` instance (hot-path draws such as
-        per-packet loss) and auxiliary generators derived from it.
+        Seed for both the ``random.Random``-compatible instance (hot-path
+        draws such as per-packet loss) and auxiliary generators derived
+        from it.
+    scheduler:
+        ``"calendar"`` (default) or ``"reference"``; overridable with the
+        ``REPRO_SIMNET_SCHEDULER`` environment variable.  Both produce
+        identical event order.
+    rng_mode:
+        ``"batched"`` (default; numpy-backed block draws) or ``"stdlib"``;
+        overridable with ``REPRO_SIMNET_RNG``.  Both produce identical
+        draw sequences.
     """
 
-    def __init__(self, seed: int = 0):
-        self._heap: list[Event] = []
+    def __init__(
+        self,
+        seed: int = 0,
+        scheduler: Optional[str] = None,
+        rng_mode: Optional[str] = None,
+    ):
+        self.scheduler = make_scheduler(scheduler)
+        self.scheduler_name = self.scheduler.name
+        self._insert = self.scheduler.insert
         self._seq = itertools.count()
-        self._now = 0.0
+        #: fire-and-forget ``schedule``: ``post(delay, fn, *args)`` queues a
+        #: bare tuple with no cancellation handle.  The hot-path tier: same
+        #: clock, same FIFO sequence space, same ordering guarantees, built
+        #: by the scheduler as a single fused call frame.
+        self.post: Callable[..., None] = self.scheduler.make_post(self, self._seq)
+        #: current simulation time in seconds (read-only for components)
+        self.now = 0.0
         self._running = False
         self.seed = seed
-        self.rng = random.Random(seed)
+        self.rng_mode = resolve_rng_mode(rng_mode)
+        self.rng = make_random(seed, self.rng_mode)
         self.events_processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+        self._free_events: List[Event] = []
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Returns a cancellable :class:`Event` handle.  Data-plane call
+        sites that never cancel should prefer :meth:`post`.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._heap, event)
+        time = self.now + delay
+        free = self._free_events
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq = next(self._seq)
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            seq = next(self._seq)
+            event = Event(time, seq, fn, args)
+        event._queue = self.scheduler
+        self._insert(time, seq, event, None)
         return event
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
-        return self.schedule(max(0.0, time - self._now), fn, *args)
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``.
+
+        ``time`` must not lie in the past: silently clamping would fire
+        the callback at a different instant than requested, which is the
+        kind of divergence the determinism suite exists to catch.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (time={time}, now={self.now})"
+            )
+        return self.schedule(time - self.now, fn, *args)
 
     def run(self, until: Optional[float] = None) -> None:
         """Process events in timestamp order.
 
-        Stops when the heap is exhausted or the next event is later than
+        Stops when the queue is exhausted or the next event is later than
         ``until``.  When ``until`` is given the clock is advanced to it even
         if no event fires exactly there, so back-to-back ``run`` calls see a
         monotone clock.
         """
         self._running = True
-        heap = self._heap
-        while heap and self._running:
-            event = heap[0]
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self.events_processed += 1
-            event.fn(*event.args)
-        if until is not None and self._now < until:
-            self._now = until
+        limit = math.inf if until is None else until
+        self.events_processed += self.scheduler._run(self, limit)
+        if until is not None and self.now < until:
+            self.now = until
         self._running = False
 
     def stop(self) -> None:
@@ -110,7 +539,7 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self.scheduler.pending()
 
     # -- random helpers ----------------------------------------------------
     # Centralised so components never touch module-level randomness.
@@ -128,7 +557,12 @@ class Simulator:
         self, mean: float, std: float, lo: float = 0.0, hi: float = math.inf
     ) -> float:
         """Normal draw clamped into ``[lo, hi]`` (netem-style jitter)."""
-        return min(hi, max(lo, self.rng.gauss(mean, std)))
+        draw = self.rng.gauss(mean, std)
+        if draw < lo:
+            return lo
+        if draw > hi:
+            return hi
+        return draw
 
     def chance(self, probability: float) -> bool:
         """Bernoulli draw; ``probability`` outside [0, 1] is clamped."""
@@ -141,6 +575,6 @@ class Simulator:
     def choice(self, seq):
         return self.rng.choice(seq)
 
-    def fork_rng(self, label: str) -> random.Random:
+    def fork_rng(self, label: str):
         """Derive an independent, reproducible RNG for a subsystem."""
-        return random.Random(f"{self.seed}/{label}")
+        return make_random(f"{self.seed}/{label}", self.rng_mode)

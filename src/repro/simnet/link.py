@@ -19,7 +19,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.simnet.engine import Simulator
-from repro.simnet.packet import Packet
+from repro.simnet.packet import Packet, free_packet
 
 Deliver = Callable[[Packet], None]
 
@@ -104,14 +104,26 @@ class Channel:
         """
         if self.receiver is None:
             raise RuntimeError(f"channel {self.name} is not connected")
-        if self._queued_bytes + pkt.size > self.queue_limit_bytes:
+        size = pkt.size
+        if self._queued_bytes + size > self.queue_limit_bytes:
             self.pkts_dropped_queue += 1
+            free_packet(pkt)
             return False
         self._queue.append(pkt)
         self._enqueue_times.append(self.sim.now)
-        self._queued_bytes += pkt.size
+        self._queued_bytes += size
         if not self._transmitting:
-            self._start_next()
+            # Idle transmitter: the packet we just queued starts at once
+            # (inline of the dequeue in _tx_done, minus the queue delay --
+            # it is zero on this path by construction).
+            self._queue.popleft()
+            self._enqueue_times.popleft()
+            sim = self.sim
+            self._queued_bytes -= size
+            self._transmitting = True
+            tx_time = size * 8.0 / self.rate_bps
+            self.busy_time += tx_time
+            sim.post(tx_time, self._tx_done, pkt)
         return True
 
     @property
@@ -141,7 +153,10 @@ class Channel:
             self._loss_state_bad = False
             return False
         if self.loss_burst <= 1.0:
-            return self.sim.chance(self.loss)
+            # Inline of sim.chance(loss): loss > 0 was checked above, and
+            # the >= 1 short-circuit must not consume a draw.
+            loss = self.loss
+            return loss >= 1.0 or self.sim.rng.random() < loss
         leave_bad = 1.0 / self.loss_burst
         enter_bad = leave_bad * self.loss / (1.0 - self.loss)
         if self._loss_state_bad:
@@ -152,32 +167,38 @@ class Channel:
                 self._loss_state_bad = True
         return self._loss_state_bad
 
-    def _start_next(self) -> None:
-        pkt = self._queue.popleft()
-        enqueued_at = self._enqueue_times.popleft()
-        self._queued_bytes -= pkt.size
-        self.queue_delay_sum += self.sim.now - enqueued_at
-        self._transmitting = True
-        tx_time = pkt.size * 8.0 / self.rate_bps
-        self.busy_time += tx_time
-        self.sim.schedule(tx_time, self._tx_done, pkt)
-
     def _tx_done(self, pkt: Packet) -> None:
         self.pkts_sent += 1
         self.bytes_sent += pkt.size
+        sim = self.sim
         if self._draw_loss():
             self.pkts_dropped_loss += 1
+            free_packet(pkt)
         else:
             latency = self.delay
             if self.jitter > 0.0:
-                latency = self.sim.bounded_normal(self.delay, self.jitter, lo=0.0)
+                # Inline of sim.bounded_normal(latency, jitter, lo=0.0).
+                draw = sim.rng.gauss(latency, self.jitter)
+                latency = draw if draw > 0.0 else 0.0
             # Jitter must not reorder: a wire is FIFO even when delay varies
             # (netem can reorder, physical access links do not).
-            arrival = max(self.sim.now + latency, self._last_arrival)
+            now = sim.now
+            arrival = now + latency
+            last = self._last_arrival
+            if arrival < last:
+                arrival = last
             self._last_arrival = arrival
-            self.sim.schedule(arrival - self.sim.now, self.receiver, pkt)
-        if self._queue:
-            self._start_next()
+            sim.post(arrival - now, self.receiver, pkt)
+        queue = self._queue
+        if queue:
+            next_pkt = queue.popleft()
+            enqueued_at = self._enqueue_times.popleft()
+            size = next_pkt.size
+            self._queued_bytes -= size
+            self.queue_delay_sum += sim.now - enqueued_at
+            tx_time = size * 8.0 / self.rate_bps
+            self.busy_time += tx_time
+            sim.post(tx_time, self._tx_done, next_pkt)
         else:
             self._transmitting = False
 

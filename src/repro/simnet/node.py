@@ -17,7 +17,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Channel
-from repro.simnet.packet import Packet
+from repro.simnet.packet import Packet, free_packet
 
 PacketHandler = Callable[[Packet], None]
 TapFn = Callable[[Packet, str, float], None]
@@ -46,6 +46,9 @@ class Interface:
         self.node = node
         self.sender = None  # object with .send(pkt) -> bool
         self.taps: list[Tap] = []
+        # Flat observer functions mirroring ``taps`` -- the per-packet loop
+        # calls the underlying fn directly, skipping Tap.__call__.
+        self._tap_fns: list[TapFn] = []
         # Cumulative counters sampled by the link-layer probe.
         self.tx_pkts = 0
         self.tx_bytes = 0
@@ -59,14 +62,23 @@ class Interface:
 
     def add_tap(self, tap: Tap) -> None:
         self.taps.append(tap)
+        self._tap_fns.append(tap.fn)
+
+    def remove_tap(self, tap: Tap) -> None:
+        """Detach a tap; both the handle and its flat fn mirror."""
+        if tap in self.taps:
+            self.taps.remove(tap)
+            self._tap_fns.remove(tap.fn)
 
     def transmit(self, pkt: Packet) -> bool:
         """Send a packet out of this interface."""
         if self.sender is None:
             raise RuntimeError(f"interface {self.node.name}.{self.name} has no sender")
-        now = self.node.sim.now
-        for tap in self.taps:
-            tap(pkt, "tx", now)
+        taps = self._tap_fns
+        if taps:
+            now = self.node.sim.now
+            for fn in taps:
+                fn(pkt, "tx", now)
         self.tx_pkts += 1
         self.tx_bytes += pkt.size
         accepted = self.sender.send(pkt)
@@ -76,9 +88,11 @@ class Interface:
 
     def deliver(self, pkt: Packet) -> None:
         """Entry point for packets arriving from the attached channel."""
-        now = self.node.sim.now
-        for tap in self.taps:
-            tap(pkt, "rx", now)
+        taps = self._tap_fns
+        if taps:
+            now = self.node.sim.now
+            for fn in taps:
+                fn(pkt, "rx", now)
         self.rx_pkts += 1
         self.rx_bytes += pkt.size
         self.node.receive(pkt, self)
@@ -164,21 +178,25 @@ class Node:
             self.forward(pkt, iface)
 
     def _local_deliver(self, pkt: Packet) -> None:
-        handler = self._sockets.get((pkt.proto, pkt.dport, pkt.src, pkt.sport))
+        sockets = self._sockets
+        handler = sockets.get((pkt.proto, pkt.dport, pkt.src, pkt.sport))
         if handler is None:
-            handler = self._sockets.get((pkt.proto, pkt.dport, None, None))
+            handler = sockets.get((pkt.proto, pkt.dport, None, None))
         if handler is not None:
             handler(pkt)
         # Unmatched packets are silently discarded, as a host with no
         # listener would (we do not model RST generation for probes).
+        free_packet(pkt)
 
     def forward(self, pkt: Packet, in_iface: Interface) -> None:
         pkt.ttl -= 1
         if pkt.ttl <= 0:
+            free_packet(pkt)
             return
         out = self.route_for(pkt.dst)
         if out is None or out is in_iface:
             self.pkts_no_route += 1
+            free_packet(pkt)
             return
         self.pkts_forwarded += 1
         out.transmit(pkt)
@@ -190,6 +208,7 @@ class Node:
         out = self.route_for(pkt.dst)
         if out is None:
             self.pkts_no_route += 1
+            free_packet(pkt)
             return False
         return out.transmit(pkt)
 
@@ -241,6 +260,7 @@ class Router(Node):
     def forward(self, pkt: Packet, in_iface: Interface) -> None:
         pkt.ttl -= 1
         if pkt.ttl <= 0:
+            free_packet(pkt)
             return
         self.bridge.send(pkt)
 
@@ -257,6 +277,7 @@ class Router(Node):
         out = self.route_for(pkt.dst)
         if out is None:
             self.pkts_no_route += 1
+            free_packet(pkt)
             return
         self.pkts_forwarded += 1
         out.transmit(pkt)

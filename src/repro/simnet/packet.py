@@ -15,7 +15,8 @@ sit on the simulator's hottest path.
 from __future__ import annotations
 
 import itertools
-from typing import NamedTuple, Optional
+from sys import getrefcount
+from typing import List, NamedTuple, Optional
 
 TCP = 6
 UDP = 17
@@ -31,6 +32,52 @@ RST = 0x04
 ACK = 0x10
 
 _packet_ids = itertools.count(1)
+
+# -- allocation pool ---------------------------------------------------------
+#
+# Packets are by far the most allocated objects on the hot path (one per
+# send, tens of thousands per session).  Terminal points in the data path
+# (local delivery, queue/loss/frame drops, routing dead ends) hand finished
+# packets to :func:`free_packet`; the event loop calls
+# :func:`sweep_freed_packets` between events and recycles any packet that is
+# provably unreferenced.  ``Packet.__new__`` then reuses pooled instances,
+# so steady-state streaming allocates near-zero packet objects.
+#
+# Safety model: ``free_packet`` is advisory.  A freed packet only re-enters
+# circulation if, at sweep time (outside any event callback, with the stack
+# unwound), its refcount proves the graveyard held the sole reference.  Any
+# holder -- an out-of-order queue, a scheduled event's args, a test -- keeps
+# the refcount up and the object is simply left to the garbage collector.
+
+_POOL_MAX = 512
+_pool: List["Packet"] = []
+_graveyard: List["Packet"] = []
+
+
+def free_packet(pkt: "Packet") -> None:
+    """Mark ``pkt`` as finished; it may be recycled once unreferenced."""
+    if pkt.freed:
+        return
+    pkt.freed = True
+    _graveyard.append(pkt)
+
+
+def sweep_freed_packets() -> None:
+    """Recycle freed packets whose refcount proves sole ownership."""
+    grave = _graveyard
+    if not grave:
+        return
+    pool = _pool
+    while grave:
+        pkt = grave.pop()
+        # Two references: the local ``pkt`` and getrefcount's argument.
+        if len(pool) < _POOL_MAX and getrefcount(pkt) == 2:
+            pool.append(pkt)
+
+
+def pool_stats() -> dict:
+    """Introspection for benchmarks/telemetry (never on the hot path)."""
+    return {"pooled": len(_pool), "graveyard": len(_graveyard)}
 
 
 class FlowKey(NamedTuple):
@@ -84,7 +131,13 @@ class Packet:
         "is_rst",
         "is_pure_ack",
         "flow_key",
+        "freed",
     )
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Packet and _pool:
+            return _pool.pop()
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -109,6 +162,7 @@ class Packet:
         app_tag: str = "",
     ):
         self.pkt_id = next(_packet_ids)
+        self.freed = False
         self.src = src
         self.dst = dst
         self.sport = sport

@@ -1,0 +1,212 @@
+"""Batched Mersenne-Twister randomness with an exact ``random.Random`` shim.
+
+The simulator draws randomness one variate at a time (a loss draw per
+packet, a jitter draw per transmission, ...), and campaign records are
+pinned bit-identical across refactors, so the draw *sequence* is part of
+the repo's compatibility contract.  This module batches the underlying
+entropy generation without changing a single draw:
+
+* :class:`BatchedRandom` subclasses :class:`random.Random` and overrides
+  only the two primitives every stdlib distribution is built from --
+  ``random()`` and ``getrandbits()``.  Both consume pre-drawn blocks of
+  raw 32-bit Mersenne-Twister output words produced vectorized by a
+  ``numpy.random.MT19937`` bit generator whose state is transplanted from
+  the CPython generator.
+* CPython and numpy implement the *same* MT19937, so the word stream is
+  identical, and the overridden primitives reproduce CPython's exact
+  word-to-value mapping (``random()`` folds two words; ``getrandbits``
+  consumes ``ceil(k/32)`` words little-endian).  Every inherited method
+  (``gauss``, ``uniform``, ``expovariate``, ``choice``, ``randrange``,
+  ``shuffle``, ...) therefore returns the exact values a seeded
+  ``random.Random`` would -- the compat-shim tests pin this per call and
+  under arbitrary interleavings.
+* ``seed``/``getstate``/``setstate`` keep the CPython-visible state
+  authoritative: ``getstate`` rolls the transplanted generator forward by
+  the number of words actually handed out, so round-tripping state between
+  :class:`BatchedRandom` and :class:`random.Random` is lossless.
+
+Without numpy (or with ``REPRO_SIMNET_RNG=stdlib``) the factory returns a
+plain ``random.Random`` -- same sequences, one C call per draw.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any, List, Optional, Tuple
+
+try:  # the repo treats numpy as optional at the simnet layer
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None  # type: ignore[assignment]
+
+#: doubling block schedule: derived streams that draw a handful of values
+#: stay cheap, the simulator's main stream amortises towards large blocks.
+_BLOCK_MIN = 256
+_BLOCK_MAX = 8192
+
+_MT_N = 624  # MT19937 state words
+_INV_2_53 = 1.0 / 9007199254740992.0  # 2**-53, the CPython random() scale
+
+RNG_MODES = ("batched", "stdlib")
+
+
+def resolve_rng_mode(mode: Optional[str] = None) -> str:
+    """Resolve the RNG mode from an explicit value or ``REPRO_SIMNET_RNG``."""
+    resolved = mode or os.environ.get("REPRO_SIMNET_RNG") or "batched"
+    if resolved not in RNG_MODES:
+        raise ValueError(
+            f"unknown rng mode {resolved!r} (expected one of {RNG_MODES})"
+        )
+    if resolved == "batched" and _np is None:
+        return "stdlib"
+    return resolved
+
+
+def make_random(seed: Any, mode: Optional[str] = None) -> random.Random:
+    """Seeded generator in the requested mode; sequences match across modes."""
+    if resolve_rng_mode(mode) == "batched":
+        return BatchedRandom(seed)
+    return random.Random(seed)
+
+
+def _transplant(internal: Tuple[int, ...]):
+    """Build a numpy MT19937 bit generator from CPython's 625-int state."""
+    bg = _np.random.MT19937()
+    bg.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": internal[:_MT_N], "pos": internal[_MT_N]},
+    }
+    return bg
+
+
+class BatchedRandom(random.Random):
+    """Drop-in ``random.Random`` drawing raw MT words in vectorized blocks."""
+
+    def __init__(self, seed: Any = None):
+        # Buffer attributes must exist before Random.__init__ triggers the
+        # first self.seed() call.
+        self._words: List[int] = []
+        self._fev: List[float] = []
+        self._fodd: List[float] = []
+        self._pos = 0
+        self._bg = None
+        self._base: Optional[Tuple[int, ...]] = None
+        self._drawn = 0
+        self._block = _BLOCK_MIN
+        super().__init__(seed)
+
+    # -- state management --------------------------------------------------
+
+    def seed(self, a: Any = None, version: int = 2) -> None:
+        super().seed(a, version)
+        self._resync()
+
+    def setstate(self, state: Tuple[Any, ...]) -> None:
+        super().setstate(state)
+        self._resync()
+
+    def getstate(self) -> Tuple[Any, ...]:
+        if self._bg is None:
+            return super().getstate()
+        consumed = self._drawn - (len(self._words) - self._pos)
+        if consumed == 0:
+            return (3, self._base, self.gauss_next)
+        bg = _transplant(self._base)
+        bg.random_raw(consumed)
+        state = bg.state["state"]
+        internal = tuple(int(w) for w in state["key"]) + (int(state["pos"]),)
+        return (3, internal, self.gauss_next)
+
+    def _resync(self) -> None:
+        """Rebuild the block source from the CPython-visible MT state."""
+        self._words = []
+        self._fev = []
+        self._fodd = []
+        self._pos = 0
+        self._drawn = 0
+        self._block = _BLOCK_MIN
+        if _np is None:  # pragma: no cover - factory returns stdlib instead
+            self._bg = None
+            return
+        _version, internal, _gauss = super().getstate()
+        self._base = tuple(internal)
+        self._bg = _transplant(self._base)
+
+    # -- block plumbing ----------------------------------------------------
+
+    def _refill(self, need: int) -> List[int]:
+        """Extend the buffer (keeping any unconsumed tail) by a fresh block."""
+        if self._bg is None:  # pragma: no cover - defensive; see _resync
+            raise RuntimeError("batched rng without numpy backing")
+        tail = self._words[self._pos :]
+        count = max(self._block, need)
+        self._block = min(_BLOCK_MAX, self._block * 2)
+        raw = self._bg.random_raw(count)
+        self._drawn += count
+        words = tail + raw.tolist()
+        self._words = words
+        self._pos = 0
+        # Pre-fold word pairs into CPython-exact random() floats for both
+        # pair alignments (getrandbits consumes single words, so random()
+        # can start on either parity).  The integer fold (a*2**26 + b with
+        # a < 2**27, b < 2**26) stays below 2**53, so the uint64->float64
+        # conversion and the scale by the exact power 2**-53 are both
+        # exact -- bit-identical to CPython's float-arithmetic fold.
+        arr = _np.array(words, dtype=_np.uint64)
+        n = len(words)
+        hi = arr >> 5
+        lo = arr >> 6
+        self._fev = ((hi[0 : n - 1 : 2] * 67108864 + lo[1:n:2]) * _INV_2_53).tolist()
+        self._fodd = (
+            (hi[1 : n - 1 : 2] * 67108864 + lo[2:n:2]) * _INV_2_53
+        ).tolist()
+        return words
+
+    # -- the two primitives every stdlib distribution reduces to -----------
+
+    def random(self) -> float:
+        """Exactly CPython's ``random_random``: fold two 32-bit words."""
+        pos = self._pos
+        try:
+            if pos & 1:
+                value = self._fodd[pos >> 1]
+            else:
+                value = self._fev[pos >> 1]
+        except IndexError:
+            self._refill(2)
+            self._pos = 2
+            return self._fev[0]
+        self._pos = pos + 2
+        return value
+
+    def getrandbits(self, k: int) -> int:
+        """Exactly CPython's ``getrandbits``: little-endian 32-bit chunks."""
+        if k < 0:
+            raise ValueError("number of bits must be non-negative")
+        if k == 0:
+            return 0
+        words = self._words
+        pos = self._pos
+        if k <= 32:
+            if pos >= len(words):
+                words = self._refill(1)
+                pos = 0
+            self._pos = pos + 1
+            return words[pos] >> (32 - k)
+        nwords = (k - 1) // 32 + 1
+        if pos + nwords > len(words):
+            words = self._refill(nwords)
+            pos = 0
+        result = 0
+        shift = 0
+        remaining = k
+        for i in range(nwords):
+            chunk = words[pos + i]
+            if remaining < 32:
+                chunk >>= 32 - remaining
+            result |= chunk << shift
+            shift += 32
+            remaining -= 32
+        self._pos = pos + nwords
+        return result

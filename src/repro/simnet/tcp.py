@@ -114,6 +114,17 @@ class TcpEndpoint:
         self._segments: Dict[int, _Segment] = {}
         self._seg_order: deque[int] = deque()
         self._app_tag = ""
+        # Incremental SACK scoreboard totals: _pipe_bytes is the byte sum
+        # of un-sacked outstanding segments (the RFC 6675 pipe estimate),
+        # _sacked_total the byte sum of sacked ones.  Kept in lockstep with
+        # every _segments mutation so the per-packet window math is O(1).
+        self._pipe_bytes = 0
+        self._sacked_total = 0
+        # Running max of ever-sacked segment ends since the last scoreboard
+        # reset.  Valid whenever _sacked_total > 0: retired sacked segments
+        # end at or below the cumulative ack, strictly below any segment
+        # still outstanding, so the running max equals the live max.
+        self._highest_sacked = 0
 
         # --- receiver state ---
         self.rcv_nxt = 0
@@ -314,13 +325,16 @@ class TcpEndpoint:
 
     def _pipe(self) -> int:
         """Estimate of bytes currently in flight (SACK pipe)."""
-        return sum(
-            seg.length for seg in self._segments.values() if not seg.sacked
-        )
+        return self._pipe_bytes
 
     def _usable_window(self) -> int:
-        window = min(self.cwnd, max(self.peer_rwnd, self.mss))
-        return max(0, window - self._pipe())
+        window = self.peer_rwnd
+        if window < self.mss:
+            window = self.mss
+        if self.cwnd < window:
+            window = self.cwnd
+        usable = window - self._pipe_bytes
+        return usable if usable > 0 else 0
 
     def _try_send(self) -> None:
         if self.state != "ESTABLISHED":
@@ -336,6 +350,7 @@ class TcpEndpoint:
             seg = _Segment(self.snd_nxt, chunk, self.sim.now)
             self._segments[seg.seq] = seg
             self._seg_order.append(seg.seq)
+            self._pipe_bytes += chunk
             self._transmit(payload=chunk, seq=seg.seq)
             self.snd_nxt += chunk
             self._send_buffer -= chunk
@@ -359,10 +374,7 @@ class TcpEndpoint:
     def _sack_retransmit(self) -> bool:
         """Retransmit scoreboard holes while the pipe allows (RFC 6675)."""
         sent = False
-        highest_sacked = max(
-            (seg.end for seg in self._segments.values() if seg.sacked),
-            default=0,
-        )
+        highest_sacked = self._highest_sacked if self._sacked_total else 0
         if highest_sacked == 0:
             return False
         for seq in list(self._seg_order):
@@ -373,7 +385,7 @@ class TcpEndpoint:
                 continue
             if seg.end + DUPACK_THRESHOLD * self.mss > highest_sacked:
                 break  # not yet judged lost
-            if self._pipe() + seg.length > self.cwnd:
+            if self._pipe_bytes + seg.length > self.cwnd:
                 break
             self._retransmit_segment(seg)
             sent = True
@@ -448,13 +460,17 @@ class TcpEndpoint:
                     continue
                 if seg.seq >= start and seg.end <= end:
                     seg.sacked = True
+                    self._pipe_bytes -= seg.length
+                    self._sacked_total += seg.length
+                    if seg.end > self._highest_sacked:
+                        self._highest_sacked = seg.end
                     advanced = True
                 elif seg.seq >= end:
                     break
         return advanced
 
     def _sacked_bytes(self) -> int:
-        return sum(s.length for s in self._segments.values() if s.sacked)
+        return self._sacked_total
 
     def _first_unacked_segment(self) -> Optional[_Segment]:
         while self._seg_order:
@@ -475,6 +491,10 @@ class TcpEndpoint:
                 break
             self._seg_order.popleft()
             del self._segments[seq]
+            if seg.sacked:
+                self._sacked_total -= seg.length
+            else:
+                self._pipe_bytes -= seg.length
 
     def _enter_recovery(self) -> None:
         self.stat_fast_retransmits += 1
@@ -524,6 +544,9 @@ class TcpEndpoint:
         for seg in self._segments.values():
             seg.sacked = False
             seg.retx_count = 0
+        self._pipe_bytes += self._sacked_total
+        self._sacked_total = 0
+        self._highest_sacked = 0
         self.rto = min(MAX_RTO, self.rto * 2.0)
         first = self._first_unacked_segment()
         if first is not None:

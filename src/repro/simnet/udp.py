@@ -63,19 +63,16 @@ class UdpSender:
         self.bytes_sent = 0
         self._running = False
         self._gap = payload * 8.0 / rate_bps
-        self._event = None
 
     def start(self, at: float = 0.0) -> None:
         if self._running:
             return
         self._running = True
-        self._event = self.sim.schedule(at, self._emit)
+        self.sim.post(at, self._emit)
 
     def stop(self) -> None:
+        # _emit checks _running, so any queued emission becomes a no-op.
         self._running = False
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
 
     def set_rate(self, rate_bps: float) -> None:
         if rate_bps <= 0:
@@ -86,6 +83,7 @@ class UdpSender:
     def _emit(self) -> None:
         if not self._running:
             return
+        sim = self.sim
         pkt = Packet(
             src=self.node.name,
             dst=self.dst,
@@ -93,22 +91,26 @@ class UdpSender:
             dport=self.dport,
             proto=UDP,
             payload_len=self.payload,
-            created_at=self.sim.now,
+            created_at=sim.now,
             app_tag=self.tag,
         )
+        size = pkt.size
         self.node.send(pkt)
         self.pkts_sent += 1
-        self.bytes_sent += pkt.size
+        self.bytes_sent += size
         gap = self._gap
         if self.jitter_factor > 0:
-            gap = self.sim.bounded_normal(
-                gap, gap * self.jitter_factor, lo=gap * 0.1
-            )
+            # Inline of sim.bounded_normal(gap, gap * jf, lo=gap * 0.1).
+            draw = sim.rng.gauss(gap, gap * self.jitter_factor)
+            floor = gap * 0.1
+            gap = draw if draw > floor else floor
         if self.off_time > 0 and self.on_time > 0:
-            # End of an on-period with probability gap / on_time.
-            if self.sim.chance(gap / self.on_time):
-                gap += self.sim.expovariate(1.0 / self.off_time)
-        self._event = self.sim.schedule(gap, self._emit)
+            # End of an on-period with probability gap / on_time (inline of
+            # sim.chance -- the >= 1 short-circuit must not consume a draw).
+            p = gap / self.on_time
+            if p >= 1.0 or sim.rng.random() < p:
+                gap += sim.expovariate(1.0 / self.off_time)
+        sim.post(gap, self._emit)
 
 
 class UdpSink:

@@ -25,7 +25,7 @@ from typing import Dict, Optional
 
 from repro.simnet.engine import Simulator
 from repro.simnet.node import Interface
-from repro.simnet.packet import Packet
+from repro.simnet.packet import Packet, free_packet
 
 #: (min SNR dB, PHY rate bit/s) -- roughly 802.11a/b/g/n single-stream rates,
 #: spanning the 1..70 Mbit/s range used for LAN shaping in Table 2.
@@ -205,6 +205,7 @@ class WifiMedium:
     def enqueue(self, station: WifiStation, pkt: Packet) -> bool:
         if station.queued_bytes + pkt.size > station.queue_limit_bytes:
             station.queue_drops += 1
+            free_packet(pkt)
             return False
         station.queue.append(pkt)
         station.queued_bytes += pkt.size
@@ -234,6 +235,7 @@ class WifiMedium:
             self._backlog.pop(idx)
         dst = self._resolve_destination(station, pkt)
         if dst is None:
+            free_packet(pkt)
             self._grant_later(0.0)
             return
         self._busy = True
@@ -270,7 +272,7 @@ class WifiMedium:
         failed = self.sim.chance(collision_p) or self.sim.chance(error_p)
         if failed and self.sim.chance(collision_p):
             self.collisions += 1
-        self.sim.schedule(total, self._attempt_done, src, dst, pkt, retries, failed)
+        self.sim.post(total, self._attempt_done, src, dst, pkt, retries, failed)
 
     def _attempt_done(
         self,
@@ -284,6 +286,7 @@ class WifiMedium:
             src.retries += 1
             if retries + 1 > MAX_RETRIES:
                 src.frame_drops += 1
+                free_packet(pkt)
                 self._finish_frame()
             else:
                 self._attempt(src, dst, pkt, retries + 1)
@@ -299,7 +302,7 @@ class WifiMedium:
 
     def _grant_later(self, delay: float) -> None:
         if self._backlog and not self._busy:
-            self.sim.schedule(delay, self._grant)
+            self.sim.post(delay, self._grant)
 
     # -- monitoring -----------------------------------------------------------
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.faults.base import Fault
+from repro.obs.telemetry import get_telemetry
 from repro.probes.application import ApplicationProbe
 from repro.probes.hardware import HardwareProbe
 from repro.probes.link import LinkProbe
@@ -27,6 +28,7 @@ from repro.probes.tstat import FlowKey, TstatProbe
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Channel, NetemChannel
 from repro.simnet.node import Host, Router, wire
+from repro.simnet.packet import pool_stats
 from repro.simnet.wireless import WifiMedium
 from repro.testbed.devices import MobileDevice, RouterDevice, ServerDevice
 from repro.traffic.apachebench import ApacheBenchLoad
@@ -66,6 +68,10 @@ class TestbedConfig:
     warmup_s: float = 3.0
     traffic_mix: Optional[TrafficMix] = None
     player_config: Optional[PlayerConfig] = None
+    #: keep raw per-packet traces on the tstat probes (``probe.trace``).
+    #: Off by default: probes are streaming accumulators, and retention
+    #: makes a session's memory proportional to its packet count.
+    retain_trace: bool = False
 
 
 @dataclass
@@ -178,12 +184,13 @@ class Testbed:
     def _probes_up(self) -> Dict[str, object]:
         """Deploy the full Section 3.1 probe stack at all three VPs."""
         sim = self.sim
+        retain = self.config.retain_trace
         probes: Dict[str, object] = {}
-        tstat_mobile = TstatProbe(sim, "tstat.mobile")
+        tstat_mobile = TstatProbe(sim, "tstat.mobile", retain_trace=retain)
         tstat_mobile.attach(self.phone.interfaces["wlan0"])
-        tstat_router = TstatProbe(sim, "tstat.router")
+        tstat_router = TstatProbe(sim, "tstat.router", retain_trace=retain)
         tstat_router.attach(self.router.interfaces["wan0"])
-        tstat_server = TstatProbe(sim, "tstat.server")
+        tstat_server = TstatProbe(sim, "tstat.server", retain_trace=retain)
         tstat_server.attach(self.server.interfaces["eth0"])
         probes["tstat"] = {
             "mobile": tstat_mobile, "router": tstat_router, "server": tstat_server,
@@ -258,10 +265,14 @@ class Testbed:
             sim.run(until=sim.now + 1.0)
         probes = self._probes_up()
         session = session_factory()
-        session.start()
-        deadline = sim.now + deadline_s
-        while not session.finished and sim.now < deadline:
-            sim.run(until=min(deadline, sim.now + 1.0))
+        events_before = sim.events_processed
+        with get_telemetry().span("testbed.session", fault=fault.name if fault else "none") as span:
+            session.start()
+            deadline = sim.now + deadline_s
+            while not session.finished and sim.now < deadline:
+                sim.run(until=min(deadline, sim.now + 1.0))
+            span.set("events", sim.events_processed - events_before)
+            span.set("packets_pooled", pool_stats()["pooled"])
         features = self._probes_down(probes, session.flow_key)
         if fault is not None:
             fault.clear(self)

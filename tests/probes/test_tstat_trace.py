@@ -1,0 +1,93 @@
+"""Trace retention and offline replay for the tstat probe.
+
+``retain_trace=True`` turns on raw-packet capture alongside the streaming
+accumulators.  The captured trace must be a faithful stand-in for the live
+tap: replaying it into a fresh probe has to reproduce every metric exactly,
+and the default (untraced) probe must produce the same metrics as a traced
+one -- retention is observation-only.
+"""
+
+import pytest
+
+from repro.probes.tstat import TstatProbe
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.simnet.packet import FlowKey, TCP
+from repro.simnet.tcp import TcpServer, open_connection
+
+
+def run_transfer(retain_trace, extra_probe=None, loss=0.01, size=250_000):
+    sim = Simulator(seed=6)
+    client = Host(sim, "client")
+    server = Host(sim, "server")
+    wire(sim, client, "eth0", server, "eth0",
+         Channel(sim, "up", 20e6, delay=0.02),
+         Channel(sim, "down", 20e6, delay=0.02, loss=loss, loss_burst=2.0))
+    client.set_default_route(client.interfaces["eth0"])
+    server.set_default_route(server.interfaces["eth0"])
+
+    probe = TstatProbe(sim, retain_trace=retain_trace)
+    probe.attach(client.interfaces["eth0"])
+    if extra_probe is not None:
+        extra_probe.attach(client.interfaces["eth0"])
+
+    def on_conn(ep):
+        ep.on_data = lambda n, t: (ep.send(size), ep.close())
+
+    TcpServer(sim, server, 80, on_conn)
+    cl = open_connection(sim, client, "server", 80)
+    cl.on_established = lambda: cl.send(400)
+    cl.on_data = lambda n, t: None
+    cl.connect()
+    sim.run(until=120.0)
+    return probe, FlowKey("client", "server", cl.local_port, 80, TCP)
+
+
+def test_untraced_probe_has_no_trace():
+    probe, key = run_transfer(retain_trace=False)
+    assert probe.trace is None
+    assert probe.metrics_for(key)["s2c_data_bytes"] > 0
+
+
+def test_retention_does_not_change_metrics():
+    """A traced probe on the same tap sees exactly the untraced metrics."""
+    sim_probe = TstatProbe(Simulator(seed=6), retain_trace=True)
+    untraced, key = run_transfer(retain_trace=False, extra_probe=sim_probe)
+    assert untraced.metrics_for(key) == sim_probe.metrics_for(key)
+    assert len(sim_probe.trace) > 0
+
+
+def test_replay_reproduces_live_metrics_exactly():
+    """Satellite: trace replay == live observation, metric for metric."""
+    live, key = run_transfer(retain_trace=True)
+    assert live.trace is not None and len(live.trace) > 0
+
+    offline = TstatProbe(Simulator(seed=0), name="offline")
+    live.trace.replay_into(offline)
+    assert offline.metrics_for(key) == live.metrics_for(key)
+    # Both orientations resolve to the same flow after replay.
+    assert offline.flow(key) is offline.flow(key.reversed())
+
+
+def test_trace_survives_save_load_round_trip(tmp_path):
+    live, key = run_transfer(retain_trace=True)
+    path = tmp_path / "capture.json"
+    live.trace.save(path)
+
+    from repro.simnet.trace import PacketTrace
+
+    loaded = PacketTrace.load(path)
+    assert len(loaded) == len(live.trace)
+    offline = TstatProbe(Simulator(seed=0), name="offline")
+    loaded.replay_into(offline)
+    assert offline.metrics_for(key) == live.metrics_for(key)
+
+
+def test_reset_clears_trace():
+    probe, key = run_transfer(retain_trace=True)
+    assert len(probe.trace) > 0
+    probe.reset()
+    assert len(probe.trace) == 0
+    assert probe.flow(key) is None
+    assert probe.metrics_for(key)["s2c_data_bytes"] == pytest.approx(0.0)

@@ -1,0 +1,64 @@
+"""Incremental SACK-scoreboard counters vs. a recomputed ground truth.
+
+The sender keeps ``_pipe_bytes`` / ``_sacked_total`` / ``_highest_sacked``
+as running counters instead of scanning the segment map per ACK.  This
+test audits them against a from-scratch recomputation at every
+millisecond of a lossy transfer, including recovery and RTO episodes.
+"""
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Channel
+from repro.simnet.node import Host, wire
+from repro.simnet.tcp import TcpServer, open_connection
+
+
+def _audit(ep, failures):
+    segs = list(ep._segments.values())
+    pipe = sum(s.length for s in segs if not s.sacked)
+    sacked = sum(s.length for s in segs if s.sacked)
+    if ep._pipe_bytes != pipe:
+        failures.append(("pipe", ep._pipe_bytes, pipe))
+    if ep._sacked_total != sacked:
+        failures.append(("sacked", ep._sacked_total, sacked))
+    if sacked:
+        live_max = max(s.end for s in segs if s.sacked)
+        if ep._highest_sacked != live_max:
+            failures.append(("highest", ep._highest_sacked, live_max))
+
+
+def test_incremental_counters_match_recomputation():
+    sim = Simulator(seed=11)
+    a, b = Host(sim, "a"), Host(sim, "b")
+    wire(
+        sim, a, "eth0", b, "eth0",
+        Channel(sim, "f", 20e6, delay=0.01, jitter=0.002, loss=0.02),
+        Channel(sim, "b", 20e6, delay=0.01, loss=0.01),
+    )
+    a.set_default_route(a.interfaces["eth0"])
+    b.set_default_route(b.interfaces["eth0"])
+    got = [0]
+    eps = []
+
+    def on_conn(ep):
+        eps.append(ep)
+        ep.on_data = lambda n, t: (ep.send(1_000_000), ep.close())
+
+    TcpServer(sim, b, 80, on_conn)
+    client = open_connection(sim, a, "b", 80)
+    client.on_established = lambda: client.send(300)
+    client.on_data = lambda n, t: got.__setitem__(0, got[0] + n)
+    client.connect()
+
+    failures = []
+
+    def audit_tick():
+        _audit(client, failures)
+        for ep in eps:
+            _audit(ep, failures)
+        if not client.closed:
+            sim.post(0.001, audit_tick)
+
+    sim.post(0.05, audit_tick)
+    sim.run(until=120.0)
+    assert got[0] == 1_000_000
+    assert failures == []
