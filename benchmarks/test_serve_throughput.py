@@ -1,0 +1,196 @@
+"""Serving-layer load benchmark with a committed baseline.
+
+Boots a real :class:`DiagnosisServer` (own event loop in a background
+thread) and drives it closed-loop over keep-alive sockets from an
+asyncio load generator: N concurrent connections, each posting one
+``repro-diagnose-request-v1`` record and waiting for its response.
+That shape is the worst case for the micro-batcher — every request is
+a single record, so the measured throughput is pure coalescing win.
+
+Results land twice: ``benchmarks/reports/serve_throughput.txt`` for
+humans and ``BENCH_serve.json`` at the repo root for machines.  The run
+*fails* below the acceptance floor (``REPRO_SERVE_RPS_MIN``, default
+1000 req/s, and ``REPRO_SERVE_P99_MAX_MS``, default 100 ms); against
+the committed JSON it only *reports* the trend — load numbers wobble
+across CI machines, so the baseline delta is informational.  Workload
+knobs: ``REPRO_SERVE_BENCH_SECONDS``, ``REPRO_SERVE_BENCH_CONNS``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+
+from repro.api import REQUEST_SCHEMA
+from repro.core.dataset import Dataset
+from repro.core.diagnosis import RootCauseAnalyzer
+from repro.pipeline.records import record_to_dict
+from repro.serve import DiagnosisServer, ModelRegistry, ServeConfig
+from repro.testbed.campaign import CampaignConfig, run_campaign
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_serve.json"
+
+WARMUP_S = 0.5
+
+
+class _ServerThread:
+    """A DiagnosisServer on its own loop, drained on close."""
+
+    def __init__(self, analyzer: RootCauseAnalyzer, config: ServeConfig):
+        registry = ModelRegistry()
+        registry.register("bench", analyzer)
+        self._config = config
+        self._registry = registry
+        self._started = threading.Event()
+        self._stop: asyncio.Event
+        self._loop: asyncio.AbstractEventLoop
+        self.port = 0
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()), daemon=True
+        )
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = DiagnosisServer(self._registry, self._config)
+        await server.start()
+        self.port = server.port
+        self._stop = asyncio.Event()
+        self._started.set()
+        await self._stop.wait()
+        await server.drain()
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        assert self._started.wait(30), "server failed to start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(30)
+
+
+def _request_bytes(record) -> bytes:
+    payload = json.dumps(
+        {"schema": REQUEST_SCHEMA, "records": [record_to_dict(record)]}
+    ).encode()
+    head = (
+        "POST /v1/diagnose HTTP/1.1\r\n"
+        "Host: bench\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    )
+    return head.encode() + payload
+
+
+async def _client(port, request, latencies, deadline):
+    """One closed-loop keep-alive connection; appends per-request seconds."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        while time.perf_counter() < deadline:
+            t0 = time.perf_counter()
+            writer.write(request)
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b" 200 " in status_line, status_line
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            await reader.readexactly(length)
+            latencies.append(time.perf_counter() - t0)
+    finally:
+        writer.close()
+
+
+async def _drive(port, request, connections, duration_s):
+    """Run the closed-loop fleet for ``duration_s``; returns (latencies, wall)."""
+    latencies: list = []
+    start = time.perf_counter()
+    deadline = start + duration_s
+    await asyncio.gather(*(
+        _client(port, request, latencies, deadline)
+        for _ in range(connections)
+    ))
+    return latencies, time.perf_counter() - start
+
+
+def _percentile(sorted_values, q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def test_serve_throughput(report):
+    duration_s = float(os.environ.get("REPRO_SERVE_BENCH_SECONDS", "2.0"))
+    connections = int(os.environ.get("REPRO_SERVE_BENCH_CONNS", "32"))
+    rps_min = float(os.environ.get("REPRO_SERVE_RPS_MIN", "1000"))
+    p99_max_ms = float(os.environ.get("REPRO_SERVE_P99_MAX_MS", "100"))
+    baseline = (
+        json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else None
+    )
+
+    records = run_campaign(CampaignConfig(
+        n_instances=24, seed=77, video_duration_range=(10.0, 14.0),
+    ))
+    analyzer = RootCauseAnalyzer().fit(Dataset.from_records(records))
+    request = _request_bytes(records[0])
+    config = ServeConfig(port=0, max_batch=64, max_wait_ms=2.0)
+
+    with _ServerThread(analyzer, config) as server:
+        asyncio.run(_drive(server.port, request, connections, WARMUP_S))
+        latencies, wall_s = asyncio.run(
+            _drive(server.port, request, connections, duration_s)
+        )
+
+    assert latencies, "load generator completed no requests"
+    latencies.sort()
+    rps = len(latencies) / wall_s
+    p50_ms = _percentile(latencies, 0.50) * 1e3
+    p99_ms = _percentile(latencies, 0.99) * 1e3
+
+    result = {
+        "schema": 1,
+        "rps": round(rps, 1),
+        "p50_ms": round(p50_ms, 3),
+        "p99_ms": round(p99_ms, 3),
+        "requests": len(latencies),
+        "duration_s": round(wall_s, 3),
+        "connections": connections,
+        "max_batch": config.max_batch,
+        "max_wait_ms": config.max_wait_ms,
+        "records_per_request": 1,
+        "python": platform.python_version(),
+    }
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+
+    lines = [
+        "serve throughput (closed loop, 1 record/request)",
+        f"  sustained    {rps:8.0f} req/s   "
+        f"({len(latencies)} requests over {wall_s:.2f}s, "
+        f"{connections} connections)",
+        f"  latency      p50 {p50_ms:6.2f} ms   p99 {p99_ms:6.2f} ms",
+        f"  batching     batch<={config.max_batch}, "
+        f"wait<={config.max_wait_ms}ms",
+        f"  floor        {rps_min:.0f} req/s, p99<={p99_max_ms:.0f}ms",
+    ]
+    if baseline is not None:
+        lines.append(
+            f"  baseline     {baseline['rps']:8.0f} req/s   "
+            f"(delta {rps / baseline['rps'] - 1.0:+.1%}, informational)"
+        )
+    report("serve_throughput", "\n".join(lines))
+
+    assert rps >= rps_min, (
+        f"served {rps:.0f} req/s, below the {rps_min:.0f} req/s floor"
+    )
+    assert p99_ms <= p99_max_ms, (
+        f"p99 at {p99_ms:.1f} ms exceeds the {p99_max_ms:.0f} ms budget"
+    )

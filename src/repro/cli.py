@@ -10,32 +10,51 @@ Commands
     Run one of the paper's experiments against a dataset (cached default
     or a pickle produced by ``campaign``).
 ``diagnose``
-    Train on one dataset and diagnose the sessions of another, printing
-    one human-readable report line per session (or JSON with ``--json``;
-    ``--batch`` routes all sessions through the vectorized
-    ``diagnose_batch`` path).
+    Diagnose the sessions of a dataset, printing one human-readable
+    report line per session (or JSON with ``--json``).  A thin client of
+    :mod:`repro.api`: records flow through exactly the same
+    ``diagnose_records`` entry point the HTTP server uses.
+``report``
+    Fleet-level QoE report over a dataset.
 ``stream``
     Run a campaign through the streaming pipeline: records flow one at
     a time from the simulator into a JSONL spool (``--sink``) and/or a
     chunked streaming diagnosis (``--diagnose``), with constant memory.
     ``--resume`` restarts an interrupted spool at the last checkpointed
     instance, bit-identical to an uninterrupted run.
+``serve``
+    Long-lived diagnosis service (``repro.serve``): an asyncio HTTP
+    server that micro-batches concurrent ``POST /v1/diagnose`` requests
+    onto the vectorized analyzer, with health/readiness endpoints,
+    versioned hot-swappable models, and graceful SIGTERM drain.
 ``trace``
     Run a campaign through the streaming pipeline with telemetry
     enabled and print a per-stage summary (wall time, records in/out,
-    self time) plus per-worker campaign attribution.  ``--diagnose``
-    additionally traces analyzer training and batch diagnosis;
-    ``--out`` writes the raw ``repro-trace-v1`` JSONL trace;
-    ``--json`` emits the summary machine-readably.
+    self time) plus per-worker campaign attribution.
 ``lint``
     Static analysis of the project's own invariants (determinism,
     metric-schema consistency, fault lifecycle, pipeline-stage schemas,
     telemetry span usage).
-    Exits non-zero on any finding not in the committed baseline.
 
-Campaign simulation parallelises over ``--workers`` processes (or the
-``REPRO_WORKERS`` environment variable); records are identical to a
-serial run.
+Exit codes
+----------
+
+Every subcommand exits uniformly: **0** on success, **1** on a domain
+failure (bad dataset file, lint findings, foreign spool, ...), **2** on
+a usage error (unknown flags, incompatible flag combinations, malformed
+invocations).  ``main()`` returns these codes rather than raising.
+
+JSON output
+-----------
+
+Every ``--json`` emission is wrapped in one envelope::
+
+    {"schema": "repro-<command>-v1", "data": ...}
+
+``stream --json`` emits one envelope per line (NDJSON); all other
+commands emit a single envelope document.  The pre-envelope ad-hoc
+shapes (bare lists and objects) are **deprecated and removed** —
+consumers must unwrap ``data`` and should dispatch on ``schema``.
 
 Examples
 --------
@@ -46,12 +65,9 @@ Examples
         --workers 4 --out lab.pkl
     python -m repro evaluate --experiment fig3 --dataset lab.pkl
     python -m repro diagnose --train lab.pkl --vps mobile --limit 5
-    python -m repro diagnose --train lab.pkl --batch --json
     python -m repro stream --kind controlled --instances 200 \
         --sink lab.jsonl --resume --workers 4
-    python -m repro stream --source lab.jsonl --train lab.pkl \
-        --diagnose --chunk 32 --json
-    python -m repro trace --instances 50 --workers 4 --out run.jsonl
+    python -m repro serve --train lab.pkl --port 8080 --max-batch 64
     python -m repro trace --instances 50 --diagnose --json
     python -m repro lint src/repro --baseline lint-baseline.json
 """
@@ -59,19 +75,44 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import pickle
 import sys
 from pathlib import Path
 
 from repro.core.dataset import Dataset
-from repro.core.diagnosis import RootCauseAnalyzer
+
+
+class CliError(Exception):
+    """A domain failure: the command ran but its work failed (exit 1)."""
+
+
+class UsageError(CliError):
+    """An invocation the parser accepts but the command rejects (exit 2)."""
+
+
+def _print_envelope(command: str, data: object, indent=2) -> None:
+    """Emit the one machine-readable shape: the versioned JSON envelope."""
+    print(json.dumps({"schema": f"repro-{command}-v1", "data": data},
+                     indent=indent))
+
+
+def _envelope_line(command: str, data: object) -> str:
+    """One NDJSON envelope line (for streaming emitters)."""
+    return json.dumps({"schema": f"repro-{command}-v1", "data": data},
+                      separators=(",", ":"))
 
 
 def _load_dataset(path: str) -> Dataset:
-    with Path(path).open("rb") as fh:
-        obj = pickle.load(fh)
+    try:
+        with Path(path).open("rb") as fh:
+            obj = pickle.load(fh)
+    except OSError as exc:
+        raise CliError(f"cannot read dataset {path}: {exc}") from exc
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise CliError(f"{path} is not a dataset pickle: {exc}") from exc
     if not isinstance(obj, Dataset):
-        raise SystemExit(f"{path} does not contain a repro Dataset")
+        raise CliError(f"{path} does not contain a repro Dataset")
     return obj
 
 
@@ -90,13 +131,39 @@ def _default_dataset(kind: str, instances, workers=None):
     return builders[kind](n_instances=instances, workers=workers, verbose=True)
 
 
+def _fit_analyzer(train: Dataset, vps: str):
+    """Fit through the facade; bad ``--vps`` is a usage error, a dataset
+    too small to train on is a domain failure."""
+    from repro import api
+    from repro.core.vantage import ALL_VPS
+
+    wanted = tuple(vps.split(","))
+    unknown = set(wanted) - set(ALL_VPS)
+    if unknown or not wanted:
+        raise UsageError(f"unknown vantage points: {sorted(unknown)}")
+    try:
+        return api.load_analyzer(dataset=train, vps=wanted)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+
 def cmd_campaign(args) -> int:
     dataset = _default_dataset(args.kind, args.instances, workers=args.workers)
     with Path(args.out).open("wb") as fh:
         pickle.dump(dataset, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    severity = dataset.label_counts("severity")
+    if args.json:
+        _print_envelope("campaign", {
+            "out": args.out,
+            "kind": args.kind,
+            "instances": len(dataset),
+            "features": len(dataset.feature_names),
+            "severity": severity,
+        })
+        return 0
     print(f"wrote {len(dataset)} instances "
           f"({len(dataset.feature_names)} features) to {args.out}")
-    print(f"severity: {dataset.label_counts('severity')}")
+    print(f"severity: {severity}")
     return 0
 
 
@@ -142,33 +209,46 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_diagnose(args) -> int:
-    import json
+    from repro import api
 
-    train = (_load_dataset(args.train) if args.train
-             else _default_dataset("controlled", None, workers=args.workers))
-    target = _load_dataset(args.dataset) if args.dataset else train
-    vps = tuple(args.vps.split(","))
-    analyzer = RootCauseAnalyzer(vps=vps).fit(train)
+    if args.model:
+        if args.train:
+            raise UsageError("--model and --train are mutually exclusive")
+        if not args.dataset:
+            raise UsageError("--model needs --dataset (sessions to diagnose)")
+        try:
+            analyzer = api.load_analyzer(path=args.model)
+        except (OSError, ValueError) as exc:
+            raise CliError(f"cannot load model {args.model}: {exc}") from exc
+        target = _load_dataset(args.dataset)
+    else:
+        train = (_load_dataset(args.train) if args.train
+                 else _default_dataset("controlled", None, workers=args.workers))
+        target = _load_dataset(args.dataset) if args.dataset else train
+        analyzer = _fit_analyzer(train, args.vps)
+
     limit = args.limit if args.limit > 0 else len(target)
     instances = target.instances[:limit]
-    if args.batch:
-        reports = analyzer.diagnose_batch(instances)
-    else:
-        reports = [analyzer.diagnose(inst) for inst in instances]
+    response = api.diagnose_records(analyzer, instances)
+    entries = [
+        dict(diagnosis, index=index, truth=inst.label("exact"))
+        for index, (inst, diagnosis) in enumerate(
+            zip(instances, response.diagnoses))
+    ]
     if args.json:
-        payload = [
-            dict(report.to_dict(), index=index, truth=inst.label("exact"))
-            for index, (inst, report) in enumerate(zip(instances, reports))
-        ]
-        print(json.dumps(payload, indent=2))
+        _print_envelope("diagnose", {
+            "model": response.model.to_dict(),
+            "diagnoses": entries,
+        })
         return 0
     hits = 0
-    for index, (inst, report) in enumerate(zip(instances, reports)):
-        truth = inst.label("exact")
-        match = "OK " if report.exact == truth else "MISS"
-        hits += report.exact == truth
-        print(f"[{index:4d}] {match} truth={truth:<28} {report.summary()}")
+    for entry in entries:
+        truth = entry["truth"]
+        match = "OK " if entry["exact"] == truth else "MISS"
+        hits += entry["exact"] == truth
+        print(f"[{entry['index']:4d}] {match} truth={truth:<28} {entry['summary']}")
         if args.explain:
+            inst = instances[entry["index"]]
             _label, path = analyzer.explain(
                 inst.features, task="exact",
                 session_s=inst.meta.get("session_s"),
@@ -180,25 +260,21 @@ def cmd_diagnose(args) -> int:
 
 
 def cmd_report(args) -> int:
-    import json
-
     from repro.core.report import fleet_report
 
     train = (_load_dataset(args.train) if args.train
              else _default_dataset("controlled", None, workers=args.workers))
     target = _load_dataset(args.dataset) if args.dataset else train
-    analyzer = RootCauseAnalyzer(vps=tuple(args.vps.split(","))).fit(train)
+    analyzer = _fit_analyzer(train, args.vps)
     report = fleet_report(analyzer, target)
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        _print_envelope("report", report.to_dict())
     else:
         print(report.to_text())
     return 0
 
 
 def cmd_stream(args) -> int:
-    import json
-
     from repro.pipeline import (
         CampaignSource,
         CountSink,
@@ -215,9 +291,9 @@ def cmd_stream(args) -> int:
     stages = []
     if args.source:
         if args.resume:
-            raise SystemExit("--resume applies to simulated campaigns, not --source")
+            raise UsageError("--resume applies to simulated campaigns, not --source")
         if args.sink:
-            raise SystemExit("--sink spools a simulated campaign; with --source "
+            raise UsageError("--sink spools a simulated campaign; with --source "
                              "the records are already on disk")
         source = JsonlSource(args.source)
     else:
@@ -242,11 +318,12 @@ def cmd_stream(args) -> int:
         start = 0
         if args.resume:
             if not args.sink:
-                raise SystemExit("--resume needs --sink to know which spool to continue")
+                raise UsageError("--resume needs --sink to know which spool "
+                                 "to continue")
             try:
                 start = resume_position(args.sink, key)
             except ValueError as exc:
-                raise SystemExit(str(exc))
+                raise CliError(str(exc)) from exc
             if start:
                 print(f"resuming {args.sink} at instance {start}/"
                       f"{config.n_instances}", flush=True)
@@ -271,7 +348,7 @@ def cmd_stream(args) -> int:
     if args.diagnose:
         train = (_load_dataset(args.train) if args.train
                  else _default_dataset("controlled", None, workers=args.workers))
-        analyzer = RootCauseAnalyzer(vps=tuple(args.vps.split(","))).fit(train)
+        analyzer = _fit_analyzer(train, args.vps)
         stages.append(DiagnoseStage(analyzer, chunk=args.chunk))
     counter = CountSink()
     stages.append(counter)
@@ -283,7 +360,8 @@ def cmd_stream(args) -> int:
             record, report = item.session, item.report
             truth = record.exact_label
             if args.json:
-                print(json.dumps(dict(report.to_dict(), index=index, truth=truth)))
+                print(_envelope_line(
+                    "stream", dict(report.to_dict(), index=index, truth=truth)))
             else:
                 match = "OK " if report.exact == truth else "MISS"
                 print(f"[{index:4d}] {match} truth={truth:<28} {report.summary()}")
@@ -297,9 +375,71 @@ def cmd_stream(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
-    import json
+def cmd_serve(args) -> int:
+    import asyncio
 
+    from repro.serve import DiagnosisServer, ModelRegistry, RegistryError, ServeConfig
+
+    registry = ModelRegistry()
+    sources = [flag for flag, value in
+               (("--models", args.models), ("--model", args.model),
+                ("--train", args.train)) if value]
+    if len(sources) > 1:
+        raise UsageError(f"pass one model source, got {' and '.join(sources)}")
+    try:
+        if args.models:
+            registry.load_dir(args.models)
+        elif args.model:
+            registry.load_path(args.model, activate=True)
+        else:
+            train = (_load_dataset(args.train) if args.train
+                     else _default_dataset("controlled", None,
+                                           workers=args.workers))
+            registry.register("default", _fit_analyzer(train, args.vps))
+    except RegistryError as exc:
+        raise CliError(str(exc)) from exc
+    except (OSError, ValueError) as exc:
+        raise CliError(f"cannot load model(s): {exc}") from exc
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    server = DiagnosisServer(registry, config)
+
+    async def _serve() -> None:
+        try:
+            await server.start()
+        except OSError as exc:
+            raise CliError(
+                f"cannot bind {args.host}:{args.port}: {exc}") from exc
+        startup = {
+            "host": args.host,
+            "port": server.port,
+            "active": registry.active_version,
+            "versions": registry.versions(),
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+        }
+        if args.json:
+            _print_envelope("serve", startup, indent=None)
+        else:
+            print(f"serving diagnoses on http://{args.host}:{server.port} "
+                  f"(model {registry.active_version}; "
+                  f"batch<={args.max_batch}, wait<={args.max_wait_ms}ms); "
+                  f"SIGTERM or Ctrl-C drains", flush=True)
+        sys.stdout.flush()
+        await server.run()
+        if not args.json:
+            print("drained; bye")
+
+    asyncio.run(_serve())
+    return 0
+
+
+def cmd_trace(args) -> int:
     from repro.obs import (
         render_summary,
         summarize,
@@ -332,7 +472,7 @@ def cmd_trace(args) -> int:
             train = (_load_dataset(args.train) if args.train
                      else _default_dataset("controlled", None,
                                            workers=args.workers))
-            analyzer = RootCauseAnalyzer(vps=tuple(args.vps.split(","))).fit(train)
+            analyzer = _fit_analyzer(train, args.vps)
             stages.append(DiagnoseStage(analyzer, chunk=args.chunk))
         counter = CountSink()
         stages.append(counter)
@@ -346,7 +486,7 @@ def cmd_trace(args) -> int:
         write_trace(args.out, payload)
     summary = summarize(payload)
     if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
+        _print_envelope("trace", summary)
     else:
         print(render_summary(summary))
         if args.out:
@@ -355,8 +495,6 @@ def cmd_trace(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    import json
-
     from repro.analysis import (
         lint_paths,
         render_text,
@@ -375,7 +513,7 @@ def cmd_lint(args) -> int:
         paths = [default if default.is_dir() else Path(".")]
     missing = [p for p in paths if not p.exists()]
     if missing:
-        raise SystemExit(f"no such path: {', '.join(map(str, missing))}")
+        raise UsageError(f"no such path: {', '.join(map(str, missing))}")
 
     baseline = Path(args.baseline) if args.baseline else None
     if baseline is None:
@@ -391,7 +529,7 @@ def cmd_lint(args) -> int:
         return 0
 
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        _print_envelope("lint", result.to_dict())
     else:
         print(render_text(result, show_notes=args.notes))
     return 0 if result.ok else 1
@@ -409,6 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate instances on N processes (default: "
                         "REPRO_WORKERS or serial); output is identical")
     p.add_argument("--out", required=True)
+    p.add_argument("--json", action="store_true",
+                   help="emit a repro-campaign-v1 summary envelope")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("evaluate", help="run a paper experiment")
@@ -419,6 +559,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("diagnose", help="diagnose sessions of a dataset")
     p.add_argument("--train", help="training pickle (default: cached controlled)")
+    p.add_argument("--model", help="repro-analyzer-v1/v2 JSON export to "
+                                   "diagnose with (instead of fitting)")
     p.add_argument("--dataset", help="sessions to diagnose (default: training set)")
     p.add_argument("--vps", default="mobile,router,server",
                    help="comma-separated vantage points")
@@ -426,9 +568,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="print the C4.5 decision path per diagnosis")
     p.add_argument("--batch", action="store_true",
-                   help="diagnose all sessions in one vectorized batch")
+                   help="deprecated no-op: diagnosis always runs through "
+                        "the vectorized repro.api batch path")
     p.add_argument("--json", action="store_true",
-                   help="emit machine-readable JSON instead of text")
+                   help="emit a repro-diagnose-v1 envelope instead of text")
     p.add_argument("--workers", type=int, default=None,
                    help="workers for simulating the default training set")
     p.set_defaults(fn=cmd_diagnose)
@@ -438,7 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", help="sessions to report on (default: training set)")
     p.add_argument("--vps", default="mobile,router,server")
     p.add_argument("--json", action="store_true",
-                   help="emit the fleet report as JSON")
+                   help="emit a repro-report-v1 envelope")
     p.add_argument("--workers", type=int, default=None,
                    help="workers for simulating the default training set")
     p.set_defaults(fn=cmd_report)
@@ -468,10 +611,36 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: cached controlled)")
     p.add_argument("--vps", default="mobile,router,server")
     p.add_argument("--json", action="store_true",
-                   help="emit one JSON object per diagnosed session")
+                   help="emit one repro-stream-v1 envelope per diagnosed "
+                        "session (NDJSON)")
     p.add_argument("--verbose", action="store_true",
                    help="print per-instance simulation progress")
     p.set_defaults(fn=cmd_stream)
+
+    p = sub.add_parser("serve",
+                       help="serve diagnoses over HTTP (micro-batched)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 picks an ephemeral port, printed "
+                        "at startup)")
+    p.add_argument("--train", help="training pickle to fit the served model "
+                                   "(default: cached controlled campaign)")
+    p.add_argument("--model", help="one repro-analyzer-v1/v2 JSON export "
+                                   "to serve")
+    p.add_argument("--models", metavar="DIR",
+                   help="directory of versioned analyzer exports (*.json); "
+                        "the lexicographically greatest version activates")
+    p.add_argument("--vps", default="mobile,router,server",
+                   help="vantage points when fitting from --train")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="most records per vectorized diagnosis call")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="longest a request waits for its batch window")
+    p.add_argument("--workers", type=int, default=None,
+                   help="workers for simulating the default training set")
+    p.add_argument("--json", action="store_true",
+                   help="emit a repro-serve-v1 startup envelope")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("trace",
                        help="trace a streamed campaign and summarize it")
@@ -494,7 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH",
                    help="write the raw repro-trace-v1 JSONL trace here")
     p.add_argument("--json", action="store_true",
-                   help="emit the summary as machine-readable JSON")
+                   help="emit the summary as a repro-trace-v1 envelope")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("lint", help="static analysis of project invariants")
@@ -506,7 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-baseline", action="store_true",
                    help="accept all current findings into the baseline file")
     p.add_argument("--json", action="store_true",
-                   help="emit findings as machine-readable JSON")
+                   help="emit findings as a repro-lint-v1 envelope")
     p.add_argument("--notes", action="store_true",
                    help="also print note-severity findings (e.g. M202)")
     p.add_argument("--rules", action="store_true",
@@ -516,8 +685,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.fn(args)
+    """Parse and dispatch; always returns 0 (ok) / 1 (failure) / 2 (usage)."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits; normalise to a return code
+        if exc.code in (None, 0):
+            return 0
+        return exc.code if isinstance(exc.code, int) else 2
+    try:
+        return args.fn(args)
+    except UsageError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except CliError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

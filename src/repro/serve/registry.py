@@ -1,0 +1,126 @@
+"""Versioned analyzer registry with hot swap.
+
+A serving process outlives any one model: retrained analyzers arrive as
+``repro-analyzer-v1/v2`` JSON exports (``RootCauseAnalyzer.save``) and
+must replace the live one without dropping requests.  The registry keeps
+every loaded version keyed by name, marks exactly one *active*, and
+swaps atomically — activation is one attribute assignment, so requests
+batched before the swap score on the old model and requests after it on
+the new, never a mixture inside one batch.
+
+Version names come from the caller or, for :meth:`load_path` /
+:meth:`load_dir`, from the export's file stem (``models/v7.json`` ->
+``"v7"``).  :meth:`load_dir` loads every ``*.json`` export in the
+directory and activates the lexicographically greatest version, so a
+conventional ``v1.json`` .. ``v12.json`` layout needs zero-padded or
+sortable names to promote the newest — the CLI documents this.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.api import ModelInfo
+from repro.core.diagnosis import RootCauseAnalyzer
+
+
+class RegistryError(KeyError):
+    """An unknown model version, or no active model yet."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep messages clean
+        return str(self.args[0]) if self.args else ""
+
+
+class ModelRegistry:
+    """All servable analyzer versions, one of them active."""
+
+    def __init__(self) -> None:
+        self._models: Dict[str, RootCauseAnalyzer] = {}
+        self._active: Optional[str] = None
+
+    # -------------------------------------------------------------- loading
+
+    def register(
+        self,
+        version: str,
+        analyzer: RootCauseAnalyzer,
+        activate: bool = False,
+    ) -> None:
+        """Add a fitted analyzer under ``version``.
+
+        The first registered version becomes active automatically;
+        later ones only on ``activate=True`` or :meth:`activate`.
+        """
+        if not analyzer.fitted:
+            raise ValueError("only fitted analyzers can be registered")
+        self._models[version] = analyzer
+        if activate or self._active is None:
+            self._active = version
+
+    def load_path(
+        self,
+        path: Union[str, Path],
+        version: Optional[str] = None,
+        activate: bool = False,
+    ) -> str:
+        """Load one analyzer export; returns the version it registered as."""
+        path = Path(path)
+        name = version or path.stem
+        self.register(name, RootCauseAnalyzer.load(path), activate=activate)
+        return name
+
+    def load_dir(self, directory: Union[str, Path]) -> List[str]:
+        """Load every ``*.json`` export in ``directory``; newest activates.
+
+        Returns the loaded version names sorted; the lexicographically
+        greatest becomes active.
+        """
+        directory = Path(directory)
+        exports = sorted(directory.glob("*.json"))
+        if not exports:
+            raise RegistryError(f"no analyzer exports (*.json) in {directory}")
+        names = [self.load_path(path) for path in exports]
+        self._active = max(names)
+        return sorted(names)
+
+    # ------------------------------------------------------------ selection
+
+    @property
+    def active_version(self) -> Optional[str]:
+        """The version new requests score on (None before any register)."""
+        return self._active
+
+    def versions(self) -> List[str]:
+        return sorted(self._models)
+
+    def activate(self, version: str) -> str:
+        """Hot-swap the active model; returns the previously active version."""
+        if version not in self._models:
+            raise RegistryError(
+                f"unknown model version {version!r} "
+                f"(have: {', '.join(self.versions()) or 'none'})"
+            )
+        previous = self._active
+        self._active = version
+        return previous or version
+
+    def get(self, version: Optional[str] = None) -> RootCauseAnalyzer:
+        """The analyzer for ``version`` (default: the active one)."""
+        name = version if version is not None else self._active
+        if name is None:
+            raise RegistryError("no model registered yet")
+        try:
+            return self._models[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown model version {name!r} "
+                f"(have: {', '.join(self.versions()) or 'none'})"
+            ) from None
+
+    def info(self, version: Optional[str] = None) -> ModelInfo:
+        """:class:`~repro.api.ModelInfo` for one version (default: active)."""
+        name = version if version is not None else self._active
+        analyzer = self.get(name)
+        assert name is not None  # get() raised otherwise
+        return ModelInfo.from_analyzer(analyzer, version=name)

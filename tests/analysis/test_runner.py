@@ -156,7 +156,9 @@ class TestCli:
         write_tree(tmp_path, "simnet/mod.py", VIOLATION)
         monkeypatch.chdir(tmp_path)
         assert main(["lint", str(tmp_path), "--json"]) == 1
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema"] == "repro-lint-v1"
+        payload = envelope["data"]
         assert payload["ok"] is False
         assert payload["new"][0]["rule"] == "D103"
 

@@ -75,12 +75,13 @@ def test_campaign_roundtrip(tmp_path, capsys, monkeypatch):
     assert len(ds) == 1
 
 
-def test_bad_pickle_rejected(tmp_path):
+def test_bad_pickle_rejected(tmp_path, capsys):
     path = tmp_path / "junk.pkl"
     with path.open("wb") as fh:
         pickle.dump({"not": "a dataset"}, fh)
-    with pytest.raises(SystemExit):
-        main(["evaluate", "--experiment", "fig3", "--dataset", str(path)])
+    rc = main(["evaluate", "--experiment", "fig3", "--dataset", str(path)])
+    assert rc == 1  # domain failure, not usage
+    assert "repro: error:" in capsys.readouterr().err
 
 
 def test_report_command(dataset_file, capsys):
@@ -109,8 +110,11 @@ def test_diagnose_json_output(dataset_file, capsys):
     ])
     assert rc == 0
     payload = json.loads(capsys.readouterr().out)
-    assert len(payload) == 3
-    for entry in payload:
+    assert payload["schema"] == "repro-diagnose-v1"
+    data = payload["data"]
+    assert data["model"]["schema"] == "repro-model-info-v1"
+    assert len(data["diagnoses"]) == 3
+    for entry in data["diagnoses"]:
         assert entry["severity"] in ("good", "mild", "severe")
         assert "truth" in entry and "summary" in entry
 
@@ -122,8 +126,9 @@ def test_report_json_output(dataset_file, capsys):
                "--json"])
     assert rc == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload["n_sessions"] > 0
-    assert "severity_counts" in payload
+    assert payload["schema"] == "repro-report-v1"
+    assert payload["data"]["n_sessions"] > 0
+    assert "severity_counts" in payload["data"]
 
 
 def test_campaign_accepts_workers(tmp_path, monkeypatch):
@@ -196,36 +201,40 @@ def test_stream_json_output(spool_file, dataset_file, capsys):
     lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
     assert len(lines) == 6
     for line in lines:
-        entry = json.loads(line)
+        envelope = json.loads(line)
+        assert envelope["schema"] == "repro-stream-v1"
+        entry = envelope["data"]
         assert entry["severity"] in ("good", "mild", "severe")
         assert "truth" in entry
 
 
-def test_stream_source_rejects_resume(spool_file):
-    with pytest.raises(SystemExit, match="--resume"):
-        main(["stream", "--source", spool_file, "--resume"])
+def test_stream_source_rejects_resume(spool_file, capsys):
+    assert main(["stream", "--source", spool_file, "--resume"]) == 2
+    assert "--resume" in capsys.readouterr().err
 
 
-def test_stream_source_rejects_sink(spool_file, tmp_path):
-    with pytest.raises(SystemExit, match="--sink"):
-        main(["stream", "--source", spool_file,
-              "--sink", str(tmp_path / "copy.jsonl")])
+def test_stream_source_rejects_sink(spool_file, tmp_path, capsys):
+    rc = main(["stream", "--source", spool_file,
+               "--sink", str(tmp_path / "copy.jsonl")])
+    assert rc == 2
+    assert "--sink" in capsys.readouterr().err
 
 
-def test_stream_resume_requires_sink():
-    with pytest.raises(SystemExit, match="--sink"):
-        main(["stream", "--resume"])
+def test_stream_resume_requires_sink(capsys):
+    assert main(["stream", "--resume"]) == 2
+    assert "--sink" in capsys.readouterr().err
 
 
-def test_stream_resume_refuses_foreign_spool(tmp_path):
+def test_stream_resume_refuses_foreign_spool(tmp_path, capsys):
     from repro.pipeline import Checkpoint, save_checkpoint
 
     spool = tmp_path / "foreign.jsonl"
     spool.write_text("{}\n")
     save_checkpoint(spool, Checkpoint(config_key="someone-else", completed=1))
-    with pytest.raises(SystemExit, match="different campaign"):
-        main(["stream", "--kind", "controlled", "--instances", "2",
-              "--resume", "--sink", str(spool)])
+    rc = main(["stream", "--kind", "controlled", "--instances", "2",
+               "--resume", "--sink", str(spool)])
+    assert rc == 1  # domain failure: spool exists but belongs elsewhere
+    assert "different campaign" in capsys.readouterr().err
 
 
 def test_stream_simulates_and_spools(tmp_path, capsys):

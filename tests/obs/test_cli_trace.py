@@ -34,7 +34,9 @@ def test_trace_prints_stage_table(capsys):
 
 def test_trace_json_summary(capsys):
     assert main(ARGS + ["--json"]) == 0
-    summary = json.loads(capsys.readouterr().out)
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["schema"] == "repro-trace-v1"
+    summary = envelope["data"]
     assert summary["campaign"]["instances"] == 4
     stages = {row["stage"]: row for row in summary["stages"]}
     assert stages["campaign"]["records_out"] == 4

@@ -1,0 +1,127 @@
+"""The `repro.api` facade: one definition for wire schema and library API."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.core.diagnosis import RootCauseAnalyzer
+from repro.pipeline.records import record_to_dict
+from repro.testbed.testbed import SessionRecord
+
+
+def test_request_round_trips_wire_records(mini_campaign_records):
+    records = mini_campaign_records[:3]
+    payload = {"schema": api.REQUEST_SCHEMA,
+               "records": [record_to_dict(r) for r in records]}
+    request = api.DiagnoseRequest.from_dict(payload)
+    assert all(isinstance(r, SessionRecord) for r in request.records)
+    assert [r.features for r in request.records] == [r.features for r in records]
+    again = api.DiagnoseRequest.from_dict(
+        {"schema": api.REQUEST_SCHEMA, "records": request.to_dict()["records"]})
+    assert [r.features for r in again.records] == [r.features for r in records]
+
+
+def test_coerce_session_shapes():
+    bare = api.coerce_session({"a": 1, "b": 2.5})
+    assert bare == {"a": 1.0, "b": 2.5}
+    wrapped = api.coerce_session({"features": {"a": 1}, "meta": {"session_s": 9}})
+    assert isinstance(wrapped, api.SessionInput)
+    assert wrapped.features == {"a": 1.0}
+    assert wrapped.meta == {"session_s": 9}
+
+
+@pytest.mark.parametrize("bad", [
+    3, "x", ["list"],
+    {"features": "not-a-dict-means-bare-map-with-string-value"},
+    {"features": {"a": 1}, "meta": "nope"},
+    {"format": "repro-record-v1"},  # claims the spool format, lacks fields
+])
+def test_coerce_session_rejects_malformed(bad):
+    with pytest.raises(api.ApiError):
+        api.coerce_session(bad)
+
+
+def test_request_schema_enforced():
+    with pytest.raises(api.ApiError, match="unsupported request schema"):
+        api.DiagnoseRequest.from_dict({"schema": "repro-diagnose-request-v9",
+                                       "records": []})
+    with pytest.raises(api.ApiError, match="JSON object"):
+        api.DiagnoseRequest.from_dict([1, 2])
+
+
+def test_diagnose_records_matches_diagnose_batch(mini_analyzer,
+                                                 mini_campaign_records):
+    records = mini_campaign_records[:10]
+    response = api.diagnose_records(mini_analyzer, records)
+    offline = [r.to_dict() for r in mini_analyzer.diagnose_batch(records)]
+    assert api.canonical_json(response.diagnoses) == api.canonical_json(offline)
+    payload = response.to_dict()
+    assert payload["schema"] == api.RESPONSE_SCHEMA
+    assert payload["model"]["schema"] == api.MODEL_INFO_SCHEMA
+
+
+def test_diagnose_records_accepts_wire_dicts(mini_analyzer,
+                                             mini_campaign_records):
+    records = mini_campaign_records[:6]
+    via_wire = api.diagnose_records(
+        mini_analyzer, [record_to_dict(r) for r in records])
+    via_objects = api.diagnose_records(mini_analyzer, records)
+    assert via_wire.diagnoses == via_objects.diagnoses
+
+
+def test_diagnose_stream_matches_batch(mini_analyzer, mini_campaign_records):
+    records = mini_campaign_records[:9]
+    streamed = [r.to_dict()
+                for r in api.diagnose_stream(mini_analyzer, records, chunk=4)]
+    batched = [r.to_dict() for r in mini_analyzer.diagnose_batch(records)]
+    assert streamed == batched
+
+
+def test_model_info_shape(mini_analyzer):
+    info = api.model_info(mini_analyzer, version="v3")
+    data = info.to_dict()
+    assert data["version"] == "v3"
+    assert data["format"] == "repro-analyzer-v2"
+    assert set(data["features"]) == {"severity", "location", "exact"}
+    assert all(n > 0 for n in data["features"].values())
+
+
+def test_load_analyzer_sources(tmp_path, mini_analyzer, mini_dataset):
+    export = tmp_path / "model.json"
+    mini_analyzer.save(export)
+    loaded = api.load_analyzer(path=export)
+    assert loaded.fitted and tuple(loaded.vps) == tuple(mini_analyzer.vps)
+
+    fitted = api.load_analyzer(dataset=mini_dataset, vps=("mobile",))
+    assert fitted.vps == ("mobile",)
+
+    import pickle
+
+    train = tmp_path / "train.pkl"
+    with train.open("wb") as fh:
+        pickle.dump(mini_dataset, fh)
+    from_pickle = api.load_analyzer(train=train, vps=("mobile",))
+    assert from_pickle.selected_features() == fitted.selected_features()
+
+    with pytest.raises(ValueError, match="at most one"):
+        api.load_analyzer(path=export, train=train)
+    junk = tmp_path / "junk.pkl"
+    with junk.open("wb") as fh:
+        pickle.dump({"not": "a dataset"}, fh)
+    with pytest.raises(ValueError, match="repro Dataset"):
+        api.load_analyzer(train=junk)
+
+
+def test_canonical_json_is_canonical():
+    assert api.canonical_json({"b": 1, "a": [1.5, "x"]}) == '{"a":[1.5,"x"],"b":1}'
+    # floats survive a parse/re-encode round trip exactly
+    value = 0.1 + 0.2
+    assert json.loads(api.canonical_json({"v": value}))["v"] == value
+
+
+def test_unfitted_model_info_rejected():
+    with pytest.raises(ValueError, match="fit"):
+        api.model_info(RootCauseAnalyzer())

@@ -1,0 +1,232 @@
+"""Micro-batcher concurrency contract.
+
+Everything here runs against a synchronous echo/recording runner, so the
+properties under test are pure batching mechanics: request/response
+ordering under interleaved clients, max-wait flush driven by a fake
+clock, the batch-size cap, per-request error isolation, and result
+bit-identity against calling the runner directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+class FakeTimer:
+    """A cancellable handle the fake clock hands out."""
+
+    def __init__(self, delay, fn):
+        self.delay = delay
+        self.fn = fn
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class FakeClock:
+    """Injected ``schedule``: timers fire only when the test says so."""
+
+    def __init__(self):
+        self.timers = []
+
+    def schedule(self, delay, fn):
+        timer = FakeTimer(delay, fn)
+        self.timers.append(timer)
+        return timer
+
+    def fire(self):
+        """Fire every armed, uncancelled timer once."""
+        for timer in list(self.timers):
+            if not timer.cancelled and not timer.fired:
+                timer.fired = True
+                timer.fn()
+
+    @property
+    def armed(self):
+        return [t for t in self.timers if not t.cancelled and not t.fired]
+
+
+class RecordingRunner:
+    """Echo runner that logs every batch it is handed."""
+
+    def __init__(self):
+        self.batches = []
+
+    def __call__(self, records):
+        self.batches.append(list(records))
+        for record in records:
+            if record == "bad":
+                raise ValueError("malformed record")
+        return [("scored", record) for record in records]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_interleaved_clients_get_their_own_results_in_order():
+    runner = RecordingRunner()
+    clock = FakeClock()
+    batcher = MicroBatcher(runner, max_batch=100, max_wait_ms=5.0,
+                           schedule=clock.schedule)
+
+    async def scenario():
+        a = asyncio.ensure_future(batcher.submit(["a1", "a2"]))
+        b = asyncio.ensure_future(batcher.submit(["b1"]))
+        c = asyncio.ensure_future(batcher.submit(["c1", "c2", "c3"]))
+        await asyncio.sleep(0)  # let all three join the window
+        clock.fire()
+        return await asyncio.gather(a, b, c)
+
+    results_a, results_b, results_c = run(scenario())
+    assert results_a == [("scored", "a1"), ("scored", "a2")]
+    assert results_b == [("scored", "b1")]
+    assert results_c == [("scored", "c1"), ("scored", "c2"), ("scored", "c3")]
+    # one window -> one coalesced batch, in arrival order
+    assert runner.batches == [["a1", "a2", "b1", "c1", "c2", "c3"]]
+
+
+def test_max_wait_flush_with_fake_clock():
+    runner = RecordingRunner()
+    clock = FakeClock()
+    batcher = MicroBatcher(runner, max_batch=64, max_wait_ms=7.0,
+                           schedule=clock.schedule)
+
+    async def scenario():
+        future = batcher.submit(["x"])
+        await asyncio.sleep(0)
+        # under the cap: nothing runs until the window timer fires
+        assert runner.batches == []
+        assert len(clock.armed) == 1
+        assert clock.armed[0].delay == pytest.approx(0.007)
+        clock.fire()
+        assert runner.batches == [["x"]]
+        return await future
+
+    assert run(scenario()) == [("scored", "x")]
+    assert batcher.stats["flush_timer"] == 1
+
+
+def test_full_window_flushes_without_waiting():
+    runner = RecordingRunner()
+    clock = FakeClock()
+    batcher = MicroBatcher(runner, max_batch=3, max_wait_ms=1000.0,
+                           schedule=clock.schedule)
+
+    async def scenario():
+        a = asyncio.ensure_future(batcher.submit(["a1", "a2"]))
+        await asyncio.sleep(0)
+        assert runner.batches == []  # still below the cap
+        b = asyncio.ensure_future(batcher.submit(["b1"]))
+        await asyncio.sleep(0)
+        return await asyncio.gather(a, b)
+
+    run(scenario())
+    assert runner.batches == [["a1", "a2", "b1"]]  # flushed on fill, no timer
+    assert batcher.stats["flush_full"] == 1
+    assert batcher.stats["flush_timer"] == 0
+    # the armed timer was cancelled by the full flush
+    assert all(t.cancelled for t in clock.timers)
+
+
+def test_batch_size_cap_never_exceeded():
+    runner = RecordingRunner()
+    clock = FakeClock()
+    batcher = MicroBatcher(runner, max_batch=4, max_wait_ms=5.0,
+                           schedule=clock.schedule)
+
+    async def scenario():
+        futures = [asyncio.ensure_future(batcher.submit([f"r{i}a", f"r{i}b", f"r{i}c"]))
+                   for i in range(3)]
+        await asyncio.sleep(0)
+        clock.fire()
+        return await asyncio.gather(*futures)
+
+    results = run(scenario())
+    assert all(len(batch) <= 4 for batch in runner.batches)
+    assert sum(len(batch) for batch in runner.batches) == 9
+    for i, per_request in enumerate(results):
+        assert per_request == [("scored", f"r{i}a"), ("scored", f"r{i}b"),
+                               ("scored", f"r{i}c")]
+
+
+def test_oversized_single_request_is_chunked_under_the_cap():
+    runner = RecordingRunner()
+    batcher = MicroBatcher(runner, max_batch=4, max_wait_ms=0.5)
+
+    async def scenario():
+        return await batcher.submit([f"r{i}" for i in range(10)])
+
+    results = run(scenario())
+    assert [len(batch) for batch in runner.batches] == [4, 4, 2]
+    assert results == [("scored", f"r{i}") for i in range(10)]
+
+
+def test_error_isolation_one_bad_request_only():
+    runner = RecordingRunner()
+    clock = FakeClock()
+    batcher = MicroBatcher(runner, max_batch=64, max_wait_ms=5.0,
+                           schedule=clock.schedule)
+
+    async def scenario():
+        good = asyncio.ensure_future(batcher.submit(["g1", "g2"]))
+        bad = asyncio.ensure_future(batcher.submit(["bad"]))
+        also_good = asyncio.ensure_future(batcher.submit(["g3"]))
+        await asyncio.sleep(0)
+        clock.fire()
+        results = await asyncio.gather(good, bad, also_good,
+                                       return_exceptions=True)
+        return results
+
+    good, bad, also_good = run(scenario())
+    assert good == [("scored", "g1"), ("scored", "g2")]
+    assert isinstance(bad, ValueError)
+    assert also_good == [("scored", "g3")]
+    assert batcher.stats["request_errors"] == 1
+
+
+def test_batched_results_identical_to_direct_runner_calls():
+    """Batching is routing only: any grouping yields the runner's answers."""
+    requests = [[f"q{i}-{j}" for j in range(i % 4 + 1)] for i in range(12)]
+    direct = [[("scored", r) for r in request] for request in requests]
+
+    for max_batch in (1, 3, 64):
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, max_batch=max_batch, max_wait_ms=0.2)
+
+        async def scenario():
+            futures = [asyncio.ensure_future(batcher.submit(request))
+                       for request in requests]
+            return await asyncio.gather(*futures)
+
+        assert run(scenario()) == direct
+
+
+def test_drain_flush_resolves_everything():
+    runner = RecordingRunner()
+    clock = FakeClock()
+    batcher = MicroBatcher(runner, max_batch=64, max_wait_ms=60_000.0,
+                           schedule=clock.schedule)
+
+    async def scenario():
+        future = asyncio.ensure_future(batcher.submit(["x"]))
+        await asyncio.sleep(0)
+        batcher.flush("drain")
+        return await future
+
+    assert run(scenario()) == [("scored", "x")]
+    assert batcher.stats["flush_drain"] == 1
+    assert batcher.pending_records == 0
+
+
+def test_knob_validation():
+    with pytest.raises(ValueError):
+        MicroBatcher(lambda r: r, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(lambda r: r, max_wait_ms=-1.0)

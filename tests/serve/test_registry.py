@@ -1,0 +1,84 @@
+"""Model registry: versioned loading, activation, hot swap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ModelInfo
+from repro.core.diagnosis import RootCauseAnalyzer
+from repro.serve import ModelRegistry, RegistryError
+
+
+def test_first_registration_activates(mini_analyzer):
+    registry = ModelRegistry()
+    assert registry.active_version is None
+    registry.register("v1", mini_analyzer)
+    assert registry.active_version == "v1"
+    assert registry.get() is mini_analyzer
+
+
+def test_later_registration_needs_explicit_activation(mini_analyzer):
+    registry = ModelRegistry()
+    registry.register("v1", mini_analyzer)
+    registry.register("v2", mini_analyzer)
+    assert registry.active_version == "v1"
+    previous = registry.activate("v2")
+    assert previous == "v1"
+    assert registry.active_version == "v2"
+    registry.register("v3", mini_analyzer, activate=True)
+    assert registry.active_version == "v3"
+
+
+def test_unfitted_analyzer_rejected():
+    registry = ModelRegistry()
+    with pytest.raises(ValueError, match="fitted"):
+        registry.register("v1", RootCauseAnalyzer())
+
+
+def test_unknown_version_errors(mini_analyzer):
+    registry = ModelRegistry()
+    with pytest.raises(RegistryError, match="no model registered"):
+        registry.get()
+    registry.register("v1", mini_analyzer)
+    with pytest.raises(RegistryError, match="unknown model version"):
+        registry.activate("v9")
+    with pytest.raises(RegistryError, match="unknown model version"):
+        registry.get("v9")
+
+
+def test_load_path_uses_file_stem(tmp_path, mini_analyzer):
+    export = tmp_path / "v7.json"
+    mini_analyzer.save(export)
+    registry = ModelRegistry()
+    assert registry.load_path(export) == "v7"
+    assert registry.versions() == ["v7"]
+    info = registry.info()
+    assert isinstance(info, ModelInfo)
+    assert info.version == "v7"
+    assert info.vps == tuple(mini_analyzer.vps)
+
+
+def test_load_dir_activates_greatest_version(tmp_path, mini_analyzer):
+    for name in ("v01", "v02", "v10"):
+        mini_analyzer.save(tmp_path / f"{name}.json")
+    registry = ModelRegistry()
+    assert registry.load_dir(tmp_path) == ["v01", "v02", "v10"]
+    assert registry.active_version == "v10"
+
+
+def test_load_dir_empty_errors(tmp_path):
+    with pytest.raises(RegistryError, match="no analyzer exports"):
+        ModelRegistry().load_dir(tmp_path)
+
+
+def test_loaded_model_diagnoses_identically(tmp_path, mini_analyzer,
+                                            mini_campaign_records):
+    """A registry round-trip through JSON export changes no diagnosis."""
+    export = tmp_path / "v1.json"
+    mini_analyzer.save(export)
+    registry = ModelRegistry()
+    registry.load_path(export)
+    records = mini_campaign_records[:8]
+    reloaded = registry.get().diagnose_batch(records)
+    original = mini_analyzer.diagnose_batch(records)
+    assert [r.to_dict() for r in reloaded] == [r.to_dict() for r in original]

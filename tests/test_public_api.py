@@ -44,6 +44,11 @@ PUBLIC_MODULES = [
     "repro.testbed.devices",
     "repro.ml",
     "repro.core",
+    "repro.api",
+    "repro.serve",
+    "repro.serve.batcher",
+    "repro.serve.registry",
+    "repro.serve.http",
     "repro.obs",
     "repro.obs.telemetry",
     "repro.obs.trace",
@@ -78,7 +83,8 @@ def test_public_classes_documented(name):
 def test_dunder_all_resolves():
     for name in ("repro", "repro.simnet", "repro.ml", "repro.core",
                  "repro.probes", "repro.faults", "repro.video",
-                 "repro.testbed", "repro.traffic", "repro.obs"):
+                 "repro.testbed", "repro.traffic", "repro.obs",
+                 "repro.api", "repro.serve"):
         module = importlib.import_module(name)
         for symbol in getattr(module, "__all__", []):
             assert hasattr(module, symbol), f"{name}.{symbol} missing"
