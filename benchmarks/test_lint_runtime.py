@@ -1,0 +1,109 @@
+"""Lint v2 runtime benchmark with a committed baseline.
+
+Measures the three configurations the incremental engine is judged by,
+all over the real ``src/repro`` tree:
+
+* **cold sequential** — ``jobs=1``, no cache: the Lint v1 cost model;
+* **cold parallel** — ``jobs=cpu_count``, no cache: the fan-out win
+  (informational on single-core CI runners);
+* **warm cache** — second run against a populated ``.repro-lint-cache``:
+  every file served by content hash, only the global passes re-run.
+
+Results land twice: ``benchmarks/reports/lint_runtime.txt`` for humans
+and ``BENCH_lint.json`` at the repo root for machines.  The run fails
+when the warm/cold speedup falls below ``REPRO_LINT_WARM_SPEEDUP_MIN``
+(default 3.0) — the committed JSON records the last accepted numbers.
+The three runs must also agree finding-for-finding, which doubles as an
+end-to-end equivalence check on real code.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.project_model import default_jobs
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+BENCH_JSON = ROOT / "BENCH_lint.json"
+
+
+def _run(jobs, cache_dir):
+    start = time.perf_counter()
+    result = lint_paths(
+        [SRC],
+        root=ROOT,
+        baseline_path=ROOT / "lint-baseline.json",
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return result, time.perf_counter() - start
+
+
+def _best_of(n, jobs, cache_dir=None):
+    best_result, best_s = None, float("inf")
+    for _ in range(n):
+        result, elapsed = _run(jobs, cache_dir)
+        if elapsed < best_s:
+            best_result, best_s = result, elapsed
+    return best_result, best_s
+
+
+def test_lint_runtime(report, tmp_path):
+    speedup_min = float(os.environ.get("REPRO_LINT_WARM_SPEEDUP_MIN", "3.0"))
+    jobs = default_jobs()
+    baseline = (
+        json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else None
+    )
+
+    cold_seq, cold_seq_s = _best_of(2, jobs=1)
+    cold_par, cold_par_s = _best_of(2, jobs=jobs)
+
+    cache_dir = tmp_path / "lint-cache"
+    _run(jobs, cache_dir)  # populate
+    warm, warm_s = _best_of(3, jobs=jobs, cache_dir=cache_dir)
+    assert warm.files_reused == warm.files_checked
+
+    # equivalence on real code rides along for free
+    expected = [f.to_dict() for f in cold_seq.findings]
+    assert [f.to_dict() for f in cold_par.findings] == expected
+    assert [f.to_dict() for f in warm.findings] == expected
+    assert cold_seq.ok, cold_seq.summary()
+
+    speedup = cold_seq_s / warm_s
+    result = {
+        "schema": 1,
+        "files": cold_seq.files_checked,
+        "jobs": jobs,
+        "cold_sequential_s": round(cold_seq_s, 4),
+        "cold_parallel_s": round(cold_par_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(speedup, 2),
+        "python": platform.python_version(),
+    }
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+
+    lines = [
+        "lint v2 runtime (src/repro)",
+        f"  cold jobs=1     {cold_seq_s * 1e3:8.1f} ms   "
+        f"({cold_seq.files_checked} files, best of 2)",
+        f"  cold jobs={jobs:<5d} {cold_par_s * 1e3:8.1f} ms",
+        f"  warm cache      {warm_s * 1e3:8.1f} ms   "
+        f"({warm.files_reused} files reused, best of 3)",
+        f"  warm speedup    {speedup:8.1f} x   (floor {speedup_min:.1f}x)",
+    ]
+    if baseline is not None:
+        lines.append(
+            f"  baseline        {baseline['warm_speedup']:8.1f} x   "
+            f"(cold {baseline['cold_sequential_s'] * 1e3:.1f} ms, "
+            f"warm {baseline['warm_s'] * 1e3:.1f} ms)"
+        )
+    report("lint_runtime", "\n".join(lines))
+
+    assert speedup >= speedup_min, (
+        f"warm lint run is only {speedup:.1f}x faster than cold "
+        f"(floor {speedup_min:.1f}x); the incremental cache regressed"
+    )

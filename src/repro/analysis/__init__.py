@@ -1,6 +1,7 @@
 """Project-invariant static analysis (``repro lint``).
 
-Three AST passes protect the invariants the reproduction depends on:
+Seven AST pass families protect the invariants the reproduction depends
+on:
 
 * determinism (D1xx) — no unseeded RNG, wall-clock reads, or unordered
   iteration in the simulation/campaign packages;
@@ -9,7 +10,16 @@ Three AST passes protect the invariants the reproduction depends on:
 * fault lifecycle (F3xx) — every concrete fault pairs inject/teardown,
   maintains the ``active`` flag, and declares its vantage-point scope;
 * pipeline-stage schema (P4xx) — every concrete streaming stage declares
-  the item fields it consumes and produces.
+  the item fields it consumes and produces;
+* telemetry usage (O5xx) — spans acquired as ``with`` contexts only;
+* async discipline (A6xx) — no blocking calls, dropped coroutines, or
+  in-place shared-state mutation inside coroutines;
+* wire schema (W7xx) — every ``repro-*-vN`` tag lives in the central
+  registry and both of its sides exist.
+
+Since Lint v2, per-file analysis is parallel and cached by content hash
+(:mod:`repro.analysis.project_model`); sequential, parallel and
+warm-cache runs produce bit-identical findings.
 
 Library use::
 
@@ -18,35 +28,61 @@ Library use::
     assert result.ok, result.summary()
 """
 
+from repro.analysis.async_discipline import check_async_discipline
 from repro.analysis.baseline import load_baseline, save_baseline
 from repro.analysis.determinism import check_determinism
 from repro.analysis.findings import Finding, RULES, Rule, rule_catalog
 from repro.analysis.lifecycle import VALID_VANTAGE_POINTS, check_lifecycle
 from repro.analysis.pipeline_schema import check_pipeline_stages
+from repro.analysis.project_model import (
+    ENGINE_VERSION,
+    FileFacts,
+    ModelCache,
+    analyze_file,
+    build_project_model,
+)
 from repro.analysis.runner import (
     LintResult,
     lint_paths,
     render_text,
     rule_table,
 )
+from repro.analysis.sarif import to_sarif, write_sarif
 from repro.analysis.schema import check_schema
-from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.suppressions import (
+    Suppression,
+    parse_suppression_comments,
+    parse_suppressions,
+)
+from repro.analysis.wire_schema import check_wire_schema, extract_wire_facts
 
 __all__ = [
+    "ENGINE_VERSION",
+    "FileFacts",
     "Finding",
     "LintResult",
+    "ModelCache",
     "RULES",
     "Rule",
+    "Suppression",
     "VALID_VANTAGE_POINTS",
+    "analyze_file",
+    "build_project_model",
+    "check_async_discipline",
     "check_determinism",
     "check_lifecycle",
     "check_pipeline_stages",
     "check_schema",
+    "check_wire_schema",
+    "extract_wire_facts",
     "lint_paths",
     "load_baseline",
+    "parse_suppression_comments",
     "parse_suppressions",
     "render_text",
     "rule_catalog",
     "rule_table",
     "save_baseline",
+    "to_sarif",
+    "write_sarif",
 ]

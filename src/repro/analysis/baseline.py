@@ -14,8 +14,9 @@ from pathlib import Path
 from typing import Dict, List, Set, Tuple
 
 from repro.analysis.findings import Finding
+from repro.schemas import LINT_BASELINE_V1
 
-FORMAT = "repro-lint-baseline-v1"
+FORMAT = LINT_BASELINE_V1
 
 
 def load_baseline(path: Path) -> Set[str]:

@@ -1,0 +1,378 @@
+"""The cached project model behind ``repro lint``.
+
+Lint v1 re-read, re-parsed and re-analyzed every file on every run.
+Lint v2 splits the work along the same seam the metric-schema pass
+already had: everything *per-file* is a pure function of that file's
+bytes, and everything *global* (metric matching, wire-schema resolution,
+baselines) is cheap arithmetic over the per-file results.  That makes
+the per-file half
+
+* **cacheable** — :class:`FileFacts` serializes to JSON and is keyed by
+  the file's content hash, so a warm run re-analyzes only changed files
+  (the cache lives in ``.repro-lint-cache/model.json`` under the lint
+  root, written atomically);
+* **parallelizable** — :func:`analyze_file` closes over nothing, so cold
+  runs fan files out over a ``multiprocessing`` pool (``--jobs``).
+
+Both halves are deterministic by construction: facts are merged in
+sorted-path order and findings are globally re-sorted, so sequential,
+parallel and warm-cache runs produce bit-identical output (pinned by the
+engine-equivalence tests).
+
+The cache is invalidated wholesale when :data:`ENGINE_VERSION` changes —
+it is derived from the rule catalog plus a hand-bumped revision, so
+adding a rule or changing pass logic never serves stale facts.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.async_discipline import check_async_discipline
+from repro.analysis.determinism import check_determinism
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.lifecycle import check_lifecycle
+from repro.analysis.obs_usage import check_obs_usage
+from repro.analysis.pipeline_schema import check_pipeline_stages
+from repro.analysis.schema import MetricRef, extract_consumed, extract_produced
+from repro.analysis.suppressions import (
+    Suppression,
+    parse_suppression_comments,
+)
+from repro.analysis.wire_schema import (
+    RegistryEntry,
+    WireFacts,
+    WireRef,
+    extract_wire_facts,
+)
+from repro.schemas import LINT_CACHE_V1
+
+#: bump when pass logic changes in a way the rule catalog does not show
+_ENGINE_REVISION = 1
+
+#: cache-busting engine identity: revision + the rule catalog itself
+ENGINE_VERSION = "{}:{}".format(
+    _ENGINE_REVISION,
+    hashlib.sha1(
+        ",".join(
+            f"{rule_id}={RULES[rule_id].severity}" for rule_id in sorted(RULES)
+        ).encode("utf-8")
+    ).hexdigest()[:12],
+)
+
+#: cache directory name, created under the lint root
+CACHE_DIR_NAME = ".repro-lint-cache"
+
+#: spawning a pool is not free; below this many stale files it cannot win
+_PARALLEL_THRESHOLD = 8
+
+# ---------------------------------------------------------------- routing
+
+#: packages whose modules must stay deterministic (D1xx)
+DETERMINISM_PACKAGES = ("simnet", "faults", "testbed", "traffic", "video")
+
+#: package whose modules produce the metric namespace (M2xx)
+PRODUCER_PACKAGE = "probes"
+
+#: modules that consume metric names (package-relative posix paths)
+CONSUMER_MODULES = (
+    "core/construction.py",
+    "core/diagnosis.py",
+    "core/selection.py",
+    "core/vantage.py",
+    "ml/fcbf.py",
+    "ml/export.py",
+)
+
+#: package whose classes the lifecycle pass inspects (F3xx)
+LIFECYCLE_PACKAGE = "faults"
+
+#: package whose stage classes the pipeline-schema pass inspects (P4xx)
+PIPELINE_PACKAGE = "pipeline"
+
+
+def _top_package(rel: str) -> str:
+    return rel.split("/", 1)[0] if "/" in rel else ""
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+# -------------------------------------------------------------- FileFacts
+
+
+@dataclass
+class FileFacts:
+    """Everything lint ever needs from one file, serializable."""
+
+    shown: str  # display path (relative to the lint root)
+    rel: str  # package-relative path (routing / registry identity)
+    sha: str  # content hash of the analyzed source
+    parse_error: Optional[str] = None
+    #: per-file findings (O5xx, D1xx, F3xx, P4xx, A6xx), pre-suppression
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    produced: List[MetricRef] = field(default_factory=list)
+    consumed: List[MetricRef] = field(default_factory=list)
+    wire: Optional[WireFacts] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shown": self.shown,
+            "rel": self.rel,
+            "sha": self.sha,
+            "parse_error": self.parse_error,
+            "findings": [_finding_to_dict(f) for f in self.findings],
+            "suppressions": [
+                {"line": s.line, "target": s.target,
+                 "rules": sorted(s.rules), "source": s.source}
+                for s in self.suppressions
+            ],
+            "produced": [dataclasses.asdict(r) for r in self.produced],
+            "consumed": [dataclasses.asdict(r) for r in self.consumed],
+            "wire": dataclasses.asdict(self.wire) if self.wire else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FileFacts":
+        wire_payload = payload.get("wire")
+        return cls(
+            shown=str(payload["shown"]),
+            rel=str(payload["rel"]),
+            sha=str(payload["sha"]),
+            parse_error=payload.get("parse_error"),  # type: ignore[arg-type]
+            findings=[_finding_from_dict(f)
+                      for f in payload.get("findings", [])],
+            suppressions=[
+                Suppression(
+                    line=int(s["line"]),
+                    target=int(s["target"]),
+                    rules=set(s["rules"]),
+                    source=str(s.get("source", "")),
+                )
+                for s in payload.get("suppressions", [])
+            ],
+            produced=[MetricRef(**r) for r in payload.get("produced", [])],
+            consumed=[MetricRef(**r) for r in payload.get("consumed", [])],
+            wire=_wire_from_dict(wire_payload) if wire_payload else None,
+        )
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, object]:
+    # Finding.to_dict() is the *reporting* shape (derived severity and
+    # fingerprint, no source); the cache needs the constructor shape.
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+        "source": finding.source,
+    }
+
+
+def _finding_from_dict(payload: Dict[str, object]) -> Finding:
+    return Finding(
+        path=str(payload["path"]),
+        line=int(payload["line"]),  # type: ignore[arg-type]
+        col=int(payload["col"]),  # type: ignore[arg-type]
+        rule=str(payload["rule"]),
+        message=str(payload["message"]),
+        source=str(payload.get("source", "")),
+    )
+
+
+def _wire_from_dict(payload: Dict[str, object]) -> WireFacts:
+    def refs(key: str) -> List[WireRef]:
+        return [WireRef(**r) for r in payload.get(key, [])]
+
+    return WireFacts(
+        rel=str(payload["rel"]),
+        tag_literals=refs("tag_literals"),
+        fstring_tags=refs("fstring_tags"),
+        constants_used=[str(n) for n in payload.get("constants_used", [])],
+        envelope_commands=refs("envelope_commands"),
+        registry_constants={
+            str(k): str(v)
+            for k, v in (payload.get("registry_constants") or {}).items()
+        },
+        registry_entries=[
+            RegistryEntry(
+                tag=str(e["tag"]),
+                producers=tuple(e.get("producers", ())),
+                consumers=tuple(e.get("consumers", ())),
+                legacy=bool(e.get("legacy", False)),
+                path=str(e["path"]),
+                line=int(e["line"]),
+                col=int(e["col"]),
+                source=str(e.get("source", "")),
+            )
+            for e in payload.get("registry_entries", [])
+        ],
+    )
+
+
+# --------------------------------------------------------------- analysis
+
+
+def analyze_file(shown: str, rel: str, source: str) -> FileFacts:
+    """All per-file lint work — a pure function of the source text."""
+    facts = FileFacts(shown=shown, rel=rel, sha=content_hash(source))
+    try:
+        ast.parse(source, filename=shown)
+    except SyntaxError as exc:
+        facts.parse_error = f"{shown}:{exc.lineno}: syntax error"
+        return facts
+
+    facts.suppressions = parse_suppression_comments(source)
+    facts.findings.extend(check_obs_usage(shown, source))
+    facts.findings.extend(check_async_discipline(shown, source))
+
+    top = _top_package(rel)
+    if top in DETERMINISM_PACKAGES:
+        facts.findings.extend(check_determinism(shown, source))
+    if top == LIFECYCLE_PACKAGE:
+        facts.findings.extend(check_lifecycle(shown, source))
+    if top == PIPELINE_PACKAGE:
+        facts.findings.extend(check_pipeline_stages(shown, source))
+    if top == PRODUCER_PACKAGE:
+        facts.produced = extract_produced(shown, source)
+    if rel in CONSUMER_MODULES:
+        facts.consumed = extract_consumed(shown, source)
+    facts.wire = extract_wire_facts(rel, source, shown=shown)
+    return facts
+
+
+def _analyze_item(item: Tuple[str, str, str]) -> FileFacts:
+    return analyze_file(*item)
+
+
+def default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def analyze_files(
+    items: Sequence[Tuple[str, str, str]], jobs: int
+) -> List[FileFacts]:
+    """Analyze ``(shown, rel, source)`` triples, fanning out when it pays.
+
+    Output order matches input order regardless of worker scheduling, so
+    parallel and sequential runs are indistinguishable downstream.
+    """
+    items = list(items)
+    if jobs > 1 and len(items) >= _PARALLEL_THRESHOLD:
+        try:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            ctx = multiprocessing.get_context(method)
+            with ctx.Pool(processes=min(jobs, len(items))) as pool:
+                chunk = max(1, len(items) // (jobs * 4))
+                return pool.map(_analyze_item, items, chunksize=chunk)
+        except (OSError, ValueError, ImportError):
+            pass  # constrained environments: fall through to sequential
+    return [_analyze_item(item) for item in items]
+
+
+# ------------------------------------------------------------------ cache
+
+
+@dataclass
+class CacheStats:
+    """How a model build split between cache hits and fresh analysis."""
+
+    reused: int = 0
+    analyzed: int = 0
+
+
+class ModelCache:
+    """The on-disk per-file facts store (``model.json``)."""
+
+    def __init__(self, cache_dir: Path):
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / "model.json"
+
+    def load(self) -> Dict[str, FileFacts]:
+        """Cached facts keyed by shown path; empty on any mismatch."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        if payload.get("format") != LINT_CACHE_V1:
+            return {}
+        if payload.get("engine") != ENGINE_VERSION:
+            return {}
+        facts: Dict[str, FileFacts] = {}
+        for shown, entry in (payload.get("files") or {}).items():
+            try:
+                facts[str(shown)] = FileFacts.from_dict(entry)
+            except (KeyError, TypeError, ValueError):
+                continue  # one corrupt entry must not poison the rest
+        return facts
+
+    def store(self, facts: Dict[str, FileFacts]) -> None:
+        """Atomically persist the full model (tmp + rename)."""
+        payload = {
+            "format": LINT_CACHE_V1,
+            "engine": ENGINE_VERSION,
+            "files": {
+                shown: facts[shown].to_dict() for shown in sorted(facts)
+            },
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # a read-only tree degrades to cold runs, not failures
+
+
+def build_project_model(
+    sources: Sequence[Tuple[str, str, str]],
+    jobs: Optional[int] = None,
+    cache: Optional[ModelCache] = None,
+) -> Tuple[List[FileFacts], CacheStats]:
+    """Per-file facts for ``(shown, rel, source)`` triples, cache-aware.
+
+    Returns facts in input order plus the hit/miss split.  When a cache
+    is given, unchanged files (same content hash, same engine) are served
+    from it and the refreshed model is persisted back.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    cached = cache.load() if cache is not None else {}
+    stats = CacheStats()
+
+    stale: List[Tuple[str, str, str]] = []
+    order: List[str] = []
+    warm: Dict[str, FileFacts] = {}
+    for shown, rel, source in sources:
+        order.append(shown)
+        hit = cached.get(shown)
+        if hit is not None and hit.sha == content_hash(source) and hit.rel == rel:
+            warm[shown] = hit
+            stats.reused += 1
+        else:
+            stale.append((shown, rel, source))
+            stats.analyzed += 1
+
+    for facts in analyze_files(stale, jobs=jobs):
+        warm[facts.shown] = facts
+
+    result = [warm[shown] for shown in order]
+    if cache is not None:
+        cache.store({facts.shown: facts for facts in result})
+    return result, stats

@@ -1,18 +1,20 @@
-"""Lint driver: file discovery, pass routing, reporting.
+"""Lint driver: file discovery, model build, global passes, reporting.
 
 ``lint_paths`` is the library entry point (the CLI's ``repro lint`` is a
-thin wrapper).  Pass routing is by package-relative location:
+thin wrapper).  Since Lint v2 the driver is two-stage:
 
-* determinism (D1xx) runs on ``simnet/``, ``faults/``, ``testbed/``,
-  ``traffic/`` and ``video/`` — the modules that feed campaign records;
-* the metric-schema pass (M2xx) collects producers from ``probes/`` and
-  consumers from the feature-construction / selection / diagnosis /
-  export modules, then matches the two sides globally;
-* the fault-lifecycle pass (F3xx) runs on ``faults/``;
-* the pipeline-schema pass (P4xx) runs on ``pipeline/`` — every concrete
-  stage must declare its ``CONSUMES``/``PRODUCES`` item fields;
-* the telemetry-usage pass (O5xx) runs on *every* file — spans must be
-  acquired as ``with`` contexts, never held or driven manually.
+1. **Per-file** — :func:`repro.analysis.project_model.analyze_file` runs
+   every local pass (O5xx everywhere; D1xx on the simulation packages;
+   F3xx on ``faults/``; P4xx on ``pipeline/``; A6xx everywhere an
+   ``async def`` can appear) and extracts the metric/wire facts the
+   global passes need.  This stage is parallel (``--jobs``) and cached
+   by content hash (``.repro-lint-cache/``).
+2. **Global** — metric-schema matching (M2xx) and wire-schema
+   resolution (W7xx) run over the per-file facts, then suppressions,
+   occurrence numbering and the baseline gate are applied.
+
+Findings are merged in sorted order, so sequential, parallel and
+warm-cache runs are bit-identical.
 
 Paths outside the ``repro`` package (e.g. test fixture trees) are routed
 by their top-level directory relative to the lint root, so the passes are
@@ -21,46 +23,51 @@ testable on synthetic trees.
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.baseline import load_baseline, split_by_baseline
-from repro.analysis.determinism import check_determinism
 from repro.analysis.findings import (
     Finding,
     RULES,
     assign_occurrences,
     sort_findings,
 )
-from repro.analysis.lifecycle import check_lifecycle
-from repro.analysis.obs_usage import check_obs_usage
-from repro.analysis.pipeline_schema import check_pipeline_stages
-from repro.analysis.schema import check_schema
-from repro.analysis.suppressions import apply_suppressions, parse_suppressions
-
-#: packages whose modules must stay deterministic
-DETERMINISM_PACKAGES = ("simnet", "faults", "testbed", "traffic", "video")
-
-#: package whose modules produce the metric namespace
-PRODUCER_PACKAGE = "probes"
-
-#: modules that consume metric names (package-relative posix paths)
-CONSUMER_MODULES = (
-    "core/construction.py",
-    "core/diagnosis.py",
-    "core/selection.py",
-    "core/vantage.py",
-    "ml/fcbf.py",
-    "ml/export.py",
+from repro.analysis.project_model import (
+    CACHE_DIR_NAME,
+    CONSUMER_MODULES,
+    DETERMINISM_PACKAGES,
+    LIFECYCLE_PACKAGE,
+    PIPELINE_PACKAGE,
+    PRODUCER_PACKAGE,
+    FileFacts,
+    ModelCache,
+    build_project_model,
+    default_jobs,
 )
+from repro.analysis.schema import match_metric_refs
+from repro.analysis.suppressions import (
+    Suppression,
+    apply_suppressions,
+    stale_suppressions,
+)
+from repro.analysis.wire_schema import check_wire_schema
 
-#: package whose classes the lifecycle pass inspects
-LIFECYCLE_PACKAGE = "faults"
-
-#: package whose stage classes the pipeline-schema pass inspects
-PIPELINE_PACKAGE = "pipeline"
+__all__ = [
+    "CACHE_DIR_NAME",
+    "CONSUMER_MODULES",
+    "DETERMINISM_PACKAGES",
+    "LIFECYCLE_PACKAGE",
+    "LintResult",
+    "PIPELINE_PACKAGE",
+    "PRODUCER_PACKAGE",
+    "display_path",
+    "lint_paths",
+    "package_relative",
+    "render_text",
+    "rule_table",
+]
 
 
 @dataclass
@@ -72,8 +79,12 @@ class LintResult:
     baselined: List[Finding] = field(default_factory=list)
     notes: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
+    stale_suppressions: List[Suppression] = field(default_factory=list)
     parse_errors: List[str] = field(default_factory=list)
     files_checked: int = 0
+    #: cache economics of the model build (0/0 when caching is off)
+    files_reused: int = 0
+    files_analyzed: int = 0
     namespace: Dict[str, Set[str]] = field(default_factory=dict)
 
     @property
@@ -88,18 +99,27 @@ class LintResult:
             f"{len(self.suppressed)} suppressed",
             f"{len(self.notes)} notes",
         ]
+        if self.stale_suppressions:
+            parts.append(f"{len(self.stale_suppressions)} stale suppressions")
         if self.parse_errors:
             parts.append(f"{len(self.parse_errors)} parse errors")
+        if self.files_reused:
+            parts.append(f"{self.files_reused} cached")
         return ", ".join(parts)
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "ok": self.ok,
             "files_checked": self.files_checked,
+            "files_reused": self.files_reused,
+            "files_analyzed": self.files_analyzed,
             "new": [f.to_dict() for f in self.new_findings],
             "baselined": [f.to_dict() for f in self.baselined],
             "suppressed": [f.to_dict() for f in self.suppressed],
             "notes": [f.to_dict() for f in self.notes],
+            "stale_suppressions": [
+                s.to_dict() for s in self.stale_suppressions
+            ],
             "parse_errors": list(self.parse_errors),
             "namespace": {
                 key: sorted(value) for key, value in self.namespace.items()
@@ -112,7 +132,10 @@ def _discover(paths: Sequence[Path]) -> List[Path]:
     for path in paths:
         path = Path(path)
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if CACHE_DIR_NAME not in p.parts
+            )
         elif path.suffix == ".py":
             files.append(path)
     # dedupe, keep order
@@ -148,68 +171,83 @@ def display_path(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
-def _top_package(rel: str) -> str:
-    return rel.split("/", 1)[0] if "/" in rel else ""
-
-
 def lint_paths(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     baseline_path: Optional[Path] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
 ) -> LintResult:
-    """Run every pass over ``paths`` and gate against the baseline."""
+    """Run every pass over ``paths`` and gate against the baseline.
+
+    ``jobs`` caps the per-file analysis pool (default: CPU count);
+    ``cache_dir`` enables the incremental model cache (``None`` — the
+    library default — analyzes everything fresh; the CLI passes
+    ``<root>/.repro-lint-cache`` unless ``--no-cache``).
+    """
     paths = [Path(p) for p in paths]
     root = Path.cwd() if root is None else Path(root)
     if baseline_path is not None:
         baseline_path = Path(baseline_path)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
     result = LintResult()
     files = _discover(paths)
     result.files_checked = len(files)
 
-    producer_sources: Dict[str, str] = {}
-    consumer_sources: Dict[str, str] = {}
-    raw: List[Finding] = []
-    suppressions_by_path: Dict[str, Dict[int, Set[str]]] = {}
-
+    sources: List[Tuple[str, str, str]] = []
     for file in files:
-        rel = package_relative(file, root)
         shown = display_path(file, root)
+        rel = package_relative(file, root)
         try:
             source = file.read_text()
         except OSError as exc:
             result.parse_errors.append(f"{shown}: unreadable ({exc})")
             continue
-        try:
-            ast.parse(source, filename=str(file))
-        except SyntaxError as exc:
-            result.parse_errors.append(f"{shown}:{exc.lineno}: syntax error")
+        sources.append((shown, rel, source))
+
+    cache = ModelCache(Path(cache_dir)) if cache_dir is not None else None
+    model, stats = build_project_model(sources, jobs=jobs, cache=cache)
+    result.files_reused = stats.reused
+    result.files_analyzed = stats.analyzed
+
+    raw: List[Finding] = []
+    suppressions: List[Suppression] = []
+    suppressions_by_path: Dict[str, List[Suppression]] = {}
+    produced: List = []
+    consumed: List = []
+    wire_facts = []
+    for facts in sorted(model, key=lambda f: f.shown):
+        if facts.parse_error is not None:
+            result.parse_errors.append(facts.parse_error)
             continue
-        suppressions_by_path[shown] = parse_suppressions(source)
+        raw.extend(facts.findings)
+        for suppression in facts.suppressions:
+            suppression.path = facts.shown
+        suppressions_by_path[facts.shown] = facts.suppressions
+        suppressions.extend(facts.suppressions)
+        produced.extend(facts.produced)
+        consumed.extend(facts.consumed)
+        if facts.wire is not None:
+            wire_facts.append(facts.wire)
 
-        raw.extend(check_obs_usage(shown, source))
-
-        top = _top_package(rel)
-        if top in DETERMINISM_PACKAGES:
-            raw.extend(check_determinism(shown, source))
-        if top == LIFECYCLE_PACKAGE:
-            raw.extend(check_lifecycle(shown, source))
-        if top == PIPELINE_PACKAGE:
-            raw.extend(check_pipeline_stages(shown, source))
-        if top == PRODUCER_PACKAGE:
-            producer_sources[shown] = source
-        if rel in CONSUMER_MODULES:
-            consumer_sources[shown] = source
-
-    if producer_sources or consumer_sources:
-        schema_findings, namespace = check_schema(
-            producer_sources, consumer_sources
-        )
+    if produced or consumed:
+        schema_findings, namespace = match_metric_refs(produced, consumed)
         raw.extend(schema_findings)
         result.namespace = namespace
+    if wire_facts:
+        raw.extend(check_wire_schema(wire_facts))
 
+    by_path: Dict[str, List[Finding]] = {}
     for finding in raw:
-        allowed = suppressions_by_path.get(finding.path, {})
-        apply_suppressions([finding], allowed)
+        by_path.setdefault(finding.path, []).append(finding)
+    for shown, path_findings in by_path.items():
+        apply_suppressions(
+            path_findings, suppressions_by_path.get(shown, [])
+        )
+    result.stale_suppressions = sorted(
+        stale_suppressions(suppressions), key=lambda s: (s.path, s.line)
+    )
 
     assign_occurrences(raw)
     result.findings = sort_findings(raw)
@@ -236,6 +274,11 @@ def render_text(result: LintResult, show_notes: bool = False) -> str:
     if show_notes:
         for finding in result.notes:
             lines.append(finding.render())
+    for suppression in result.stale_suppressions:
+        lines.append(
+            f"{suppression.path}:{suppression.line}: stale suppression "
+            f"({suppression.source}) excuses nothing"
+        )
     lines.append(f"repro lint: {result.summary()}")
     lines.append("result: " + ("clean" if result.ok else "FINDINGS"))
     return "\n".join(lines)

@@ -210,7 +210,18 @@ def check_schema(
     consumed_refs: List[MetricRef] = []
     for path, source in sorted(consumer_sources.items()):
         consumed_refs.extend(extract_consumed(path, source))
+    return match_metric_refs(produced_refs, consumed_refs)
 
+
+def match_metric_refs(
+    produced_refs: List[MetricRef], consumed_refs: List[MetricRef]
+) -> Tuple[List[Finding], Dict[str, Set[str]]]:
+    """The global half of the pass: match pre-extracted refs.
+
+    Split out from :func:`check_schema` so the incremental driver can
+    feed it per-file refs recovered from the project-model cache without
+    re-reading or re-parsing unchanged files.
+    """
     produced_names = {ref.name for ref in produced_refs}
     consumed_names = {ref.name for ref in consumed_refs}
 

@@ -44,12 +44,20 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 from repro.core.dataset import Dataset
 from repro.core.diagnosis import DiagnosisReport, RootCauseAnalyzer, SessionLike
 from repro.core.vantage import ALL_VPS
-from repro.pipeline.records import RECORD_FORMAT, record_from_dict
+from repro.pipeline.records import record_from_dict
+from repro.schemas import (
+    ANALYZER_V2,
+    DIAGNOSE_REQUEST_V1,
+    DIAGNOSE_RESPONSE_V1,
+    MODEL_INFO_V1,
+    RECORD_V1,
+)
 
-#: wire-schema tags — the single source of truth for server and clients
-REQUEST_SCHEMA = "repro-diagnose-request-v1"
-RESPONSE_SCHEMA = "repro-diagnose-response-v1"
-MODEL_INFO_SCHEMA = "repro-model-info-v1"
+#: wire-schema tags, re-exported from the central registry
+#: (:mod:`repro.schemas`) under their historical facade names
+REQUEST_SCHEMA = DIAGNOSE_REQUEST_V1
+RESPONSE_SCHEMA = DIAGNOSE_RESPONSE_V1
+MODEL_INFO_SCHEMA = MODEL_INFO_V1
 
 __all__ = [
     "ApiError",
@@ -104,11 +112,11 @@ def coerce_session(obj: object) -> SessionLike:
         return obj
     if not isinstance(obj, dict):
         raise ApiError(f"record must be an object, got {type(obj).__name__}")
-    if obj.get("format") == RECORD_FORMAT:
+    if obj.get("format") == RECORD_V1:
         try:
             return record_from_dict(obj)
         except (KeyError, TypeError, ValueError) as exc:
-            raise ApiError(f"malformed {RECORD_FORMAT} record: {exc}") from exc
+            raise ApiError(f"malformed {RECORD_V1} record: {exc}") from exc
     if "features" in obj and isinstance(obj["features"], dict):
         features = obj["features"]
         meta = obj.get("meta", {})
@@ -182,7 +190,7 @@ class ModelInfo:
             raise ValueError("analyzer must be fit before describing it")
         return cls(
             version=version,
-            format="repro-analyzer-v2",
+            format=ANALYZER_V2,
             vps=tuple(analyzer.vps),
             features={task: len(names) for task, names in analyzer.features.items()},
         )

@@ -81,6 +81,7 @@ import sys
 from pathlib import Path
 
 from repro.core.dataset import Dataset
+from repro.schemas import envelope_tag
 
 
 class CliError(Exception):
@@ -93,13 +94,13 @@ class UsageError(CliError):
 
 def _print_envelope(command: str, data: object, indent=2) -> None:
     """Emit the one machine-readable shape: the versioned JSON envelope."""
-    print(json.dumps({"schema": f"repro-{command}-v1", "data": data},
+    print(json.dumps({"schema": envelope_tag(command), "data": data},
                      indent=indent))
 
 
 def _envelope_line(command: str, data: object) -> str:
     """One NDJSON envelope line (for streaming emitters)."""
-    return json.dumps({"schema": f"repro-{command}-v1", "data": data},
+    return json.dumps({"schema": envelope_tag(command), "data": data},
                       separators=(",", ":"))
 
 
@@ -501,6 +502,7 @@ def cmd_lint(args) -> int:
         rule_table,
         save_baseline,
     )
+    from repro.analysis.project_model import CACHE_DIR_NAME
 
     if args.rules:
         for rule_id, name, severity, summary in rule_table():
@@ -520,13 +522,33 @@ def cmd_lint(args) -> int:
         candidate = Path("lint-baseline.json")
         baseline = candidate if candidate.exists() else None
 
-    result = lint_paths(paths, root=Path.cwd(), baseline_path=baseline)
+    root = Path.cwd()
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir:
+        cache_dir = Path(args.cache_dir)
+    else:
+        cache_dir = root / CACHE_DIR_NAME
+
+    result = lint_paths(
+        paths,
+        root=root,
+        baseline_path=baseline,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
 
     if args.update_baseline:
         target = baseline or Path("lint-baseline.json")
         payload = save_baseline(target, result.findings)
         print(f"wrote {len(payload['entries'])} entries to {target}")
         return 0
+
+    if args.sarif:
+        from repro.analysis.sarif import write_sarif
+
+        exported = write_sarif(Path(args.sarif), result)
+        print(f"wrote {exported} results to {args.sarif}", file=sys.stderr)
 
     if args.json:
         _print_envelope("lint", result.to_dict())
@@ -680,6 +702,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print note-severity findings (e.g. M202)")
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="per-file analysis workers (default: CPU count)")
+    p.add_argument("--sarif", metavar="OUT",
+                   help="also write findings as a SARIF 2.1.0 log")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the incremental cache")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="incremental cache location "
+                        "(default: ./.repro-lint-cache)")
     p.set_defaults(fn=cmd_lint)
     return parser
 

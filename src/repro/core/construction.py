@@ -34,6 +34,7 @@ from typing import (
 import numpy as np
 
 from repro.core.dataset import Dataset, Instance
+from repro.schemas import FC_STATE_V1
 
 #: tstat counters normalised by total packets of the same direction
 _PKT_COUNTERS = (
@@ -315,14 +316,14 @@ class FeatureConstructor:
         if not self.fitted:
             raise RuntimeError("constructor must be fit before exporting state")
         return {
-            "format": "repro-fc-v1",
+            "format": FC_STATE_V1,
             "nic_max_rates": {k: float(v) for k, v in self._nic_max_rates.items()},
         }
 
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "FeatureConstructor":
         """Rebuild a fitted constructor from :meth:`to_state` output."""
-        if state.get("format") != "repro-fc-v1":
+        if state.get("format") != FC_STATE_V1:
             raise ValueError("not a repro feature-constructor state")
         constructor = cls()
         constructor._nic_max_rates = {

@@ -42,6 +42,7 @@ from repro.core.selection import FeatureSelector
 from repro.core.vantage import ALL_VPS, combo_name, features_for_vps
 from repro.ml.tree import C45Tree
 from repro.obs.telemetry import get_telemetry
+from repro.schemas import ANALYZER_V1, ANALYZER_V2, FC_STATE_V1
 
 _TASKS = ("severity", "location", "exact")
 
@@ -391,7 +392,7 @@ class RootCauseAnalyzer:
         if not self.fitted:
             raise RuntimeError("analyzer must be fit before saving")
         payload = {
-            "format": "repro-analyzer-v2",
+            "format": ANALYZER_V2,
             "vps": list(self.vps),
             "fs_delta": self.fs_delta,
             "select": self.select,
@@ -413,13 +414,13 @@ class RootCauseAnalyzer:
 
         payload = json.loads(Path(path).read_text())
         version = payload.get("format")
-        if version == "repro-analyzer-v2":
+        if version == ANALYZER_V2:
             state = payload["constructor"]
-        elif version == "repro-analyzer-v1":
+        elif version == ANALYZER_V1:
             # v1 stored the per-NIC maxima inline; lift them into the
             # explicit constructor-state shape.
             state = {
-                "format": "repro-fc-v1",
+                "format": FC_STATE_V1,
                 "nic_max_rates": payload["nic_max_rates"],
             }
         else:

@@ -16,6 +16,7 @@ from typing import Dict
 import numpy as np
 
 from repro.ml.tree import C45Tree, _Node
+from repro.schemas import C45_V1
 
 
 def tree_to_dot(tree: C45Tree, max_depth: int = 8) -> str:
@@ -75,7 +76,7 @@ def tree_to_dict(tree: C45Tree) -> Dict:
     if tree.root is None:
         raise RuntimeError("tree is not fitted")
     return {
-        "format": "repro-c45-v1",
+        "format": C45_V1,
         "classes": [str(c) for c in tree.classes_],
         "feature_names": list(tree.feature_names or []),
         "n_features": tree.n_features,
@@ -90,7 +91,7 @@ def tree_to_dict(tree: C45Tree) -> Dict:
 
 def tree_from_dict(data: Dict) -> C45Tree:
     """Reconstruct a :class:`C45Tree` saved by :func:`tree_to_dict`."""
-    if data.get("format") != "repro-c45-v1":
+    if data.get("format") != C45_V1:
         raise ValueError("not a repro C4.5 export")
     params = data.get("params", {})
     tree = C45Tree(

@@ -50,6 +50,8 @@ from contextlib import contextmanager
 from types import TracebackType
 from typing import Dict, Iterator, List, Optional, Type, Union
 
+from repro.schemas import TRACE_V1
+
 #: JSON-safe attribute values accepted on spans and events
 AttrValue = Union[str, int, float, bool, None]
 
@@ -323,7 +325,7 @@ class Telemetry:
         """
         spans = sorted(self._spans, key=lambda s: (s.t0, s.id))
         return {
-            "format": "repro-trace-v1",
+            "format": TRACE_V1,
             "meta": {"pid": os.getpid(), **meta},
             "spans": [span.to_dict() for span in spans],
             "counters": dict(sorted(self.counters.items())),
@@ -346,8 +348,8 @@ class Telemetry:
         """
         if not self.enabled:
             return
-        if payload.get("format") != "repro-trace-v1":
-            raise ValueError("not a repro-trace-v1 payload")
+        if payload.get("format") != TRACE_V1:
+            raise ValueError(f"not a {TRACE_V1} payload")
         meta = payload.get("meta") or {}
         if worker is None:
             worker = meta.get("pid") if isinstance(meta, dict) else None

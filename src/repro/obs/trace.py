@@ -24,7 +24,9 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-TRACE_FORMAT = "repro-trace-v1"
+from repro.schemas import TRACE_V1
+
+TRACE_FORMAT = TRACE_V1
 
 #: line kinds a trace file may contain, in canonical write order
 _KINDS = ("span", "counter", "histogram", "event")

@@ -23,7 +23,9 @@ from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
 from typing import Optional, Union
 
-CHECKPOINT_FORMAT = "repro-ckpt-v1"
+from repro.schemas import CHECKPOINT_V1
+
+CHECKPOINT_FORMAT = CHECKPOINT_V1
 
 
 def checkpoint_path(spool: Union[str, Path]) -> Path:

@@ -13,11 +13,12 @@ from __future__ import annotations
 import json
 from typing import Dict
 
+from repro.schemas import RECORD_V1
 from repro.testbed.testbed import SessionRecord
 
 #: format tag written into every spooled line, so foreign JSONL files
 #: fail loudly instead of half-parsing.
-RECORD_FORMAT = "repro-record-v1"
+RECORD_FORMAT = RECORD_V1
 
 
 def record_to_dict(record: SessionRecord) -> Dict[str, object]:

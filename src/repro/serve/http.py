@@ -51,10 +51,11 @@ from repro.api import (
 )
 from repro.core.diagnosis import DiagnosisReport
 from repro.obs.telemetry import get_telemetry
+from repro.schemas import SERVE_ERROR_V1
 from repro.serve.batcher import MicroBatcher
 from repro.serve.registry import ModelRegistry, RegistryError
 
-ERROR_SCHEMA = "repro-error-v1"
+ERROR_SCHEMA = SERVE_ERROR_V1
 
 #: refuse request bodies larger than this (a fleet record is ~2 KB)
 MAX_BODY_BYTES = 32 * 1024 * 1024

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Tuple
 
+from repro.schemas import PACKET_TRACE_V1
 from repro.simnet.node import Interface, Tap
 from repro.simnet.packet import FlowKey, Packet
 
@@ -46,7 +47,7 @@ class TraceEntry:
 class PacketTrace:
     """An ordered capture of packets at one observation point."""
 
-    FORMAT = "repro-trace-v1"
+    FORMAT = PACKET_TRACE_V1
 
     def __init__(self, description: str = ""):
         self.description = description
