@@ -5,7 +5,11 @@ by: event-loop events/sec at a realistic queue depth (hundreds of
 concurrent timers, mixed ``post``/``schedule`` tiers -- a single
 self-rescheduling timer would measure only dispatch overhead and hide
 the calendar queue's insertion win), campaign records/sec at
-``workers=1``, and the campaign's peak RSS in a forked child.
+``workers=1``, and the campaign's peak RSS in a forked child.  A
+sessions-per-proc sweep then measures the interleaved path: K sessions
+on one shared event loop (``sessions_interleaved`` in the JSON, with a
+records/sec regression floor of its own; ``REPRO_SIMNET_BENCH_SESSIONS``
+sizes the sweep campaign).
 
 Results land twice: ``benchmarks/reports/simnet_throughput.txt`` for
 humans and ``BENCH_simnet.json`` at the repo root for machines.  The
@@ -53,14 +57,15 @@ def _event_loop_run(total):
     return count[0]
 
 
-def _campaign_in_child(config):
+def _campaign_in_child(config, sessions_per_proc=1):
     """Run the campaign in a forked child: clean RSS baseline."""
     ctx = multiprocessing.get_context("fork")
     queue = ctx.SimpleQueue()
 
     def task():
         start = time.perf_counter()
-        records = run_campaign(config, workers=1)
+        records = run_campaign(config, workers=1,
+                               sessions_per_proc=sessions_per_proc)
         elapsed = time.perf_counter() - start
         rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         queue.put((len(records), elapsed, rss_kb))
@@ -101,6 +106,23 @@ def test_simnet_throughput(report):
     assert n_records == instances
     records_per_sec = n_records / campaign_s
 
+    # -- sessions-per-proc sweep: K sessions interleaved on one loop --------
+    sweep_n = int(os.environ.get("REPRO_SIMNET_BENCH_SESSIONS", "16"))
+    sweep_config = CampaignConfig(n_instances=sweep_n, seed=123,
+                                  video_duration_range=(8.0, 10.0))
+    sweep = []
+    for k in (1, 4, sweep_n):
+        n, elapsed, k_rss_kb = _campaign_in_child(sweep_config,
+                                                  sessions_per_proc=k)
+        assert n == sweep_n
+        sweep.append({
+            "sessions_per_proc": k,
+            "sessions_per_sec": round(n / elapsed, 4),
+            "records_per_sec": round(n / elapsed, 4),
+            "peak_rss_kb": k_rss_kb,
+        })
+    best = max(sweep, key=lambda row: row["records_per_sec"])
+
     result = {
         "schema": 1,
         "event_loop": {
@@ -112,6 +134,12 @@ def test_simnet_throughput(report):
             "workers": 1,
             "instances": instances,
             "records_per_sec": round(records_per_sec, 4),
+        },
+        "sessions_interleaved": {
+            "workers": 1,
+            "instances": sweep_n,
+            "sweep": sweep,
+            "best": best,
         },
         "peak_rss_kb": rss_kb,
         "python": platform.python_version(),
@@ -126,6 +154,12 @@ def test_simnet_throughput(report):
         f"({instances} instances, workers=1)",
         f"  peak RSS     {rss_kb / 1024:8.1f} MB (campaign child)",
     ]
+    for row in sweep:
+        lines.append(
+            f"  interleaved  {row['records_per_sec']:8.3f} records/s   "
+            f"(K={row['sessions_per_proc']:<3d} of {sweep_n} instances, "
+            f"RSS {row['peak_rss_kb'] / 1024:.1f} MB)"
+        )
     if baseline is not None:
         base_eps = baseline["event_loop"]["events_per_sec"]
         lines.append(
@@ -142,3 +176,12 @@ def test_simnet_throughput(report):
             f"{floor:.0f} (baseline {baseline['event_loop']['events_per_sec']:.0f}, "
             f"budget -{max_regress:.0%})"
         )
+        base_interleaved = baseline.get("sessions_interleaved")
+        if base_interleaved is not None:
+            base_best = base_interleaved["best"]["records_per_sec"]
+            best_floor = base_best * (1.0 - max_regress)
+            assert best["records_per_sec"] >= best_floor, (
+                f"interleaved path at {best['records_per_sec']:.3f} records/s "
+                f"regressed past {best_floor:.3f} (baseline {base_best:.3f}, "
+                f"budget -{max_regress:.0%})"
+            )

@@ -21,6 +21,15 @@ module's AST and flags the constructs that silently break that purity:
   statement, comprehension, or an order-sensitive wrapper such as
   ``list()`` / ``tuple()`` / ``enumerate()``.  Wrap the set in
   ``sorted(...)`` instead; membership tests and ``len()`` are untouched.
+* **D105** — module-level *mutable* state in ``repro/simnet/`` (a list /
+  dict / set / comprehension / ``collections`` container bound to a
+  module global).  Since the multi-session refactor, K sessions
+  interleave in one process; anything mutable at module scope is shared
+  across all of them and can couple their simulations.  Scope the state
+  to the :class:`~repro.simnet.engine.SessionContext` (or suppress with
+  a justification for deliberately shared, value-safe pools).
+  ``ALL_CAPS`` constants and dunders are exempt by convention; the rule
+  only applies to files under a ``simnet`` directory.
 
 The pass is import-alias aware: ``import random as rnd`` and
 ``from random import choice`` are both caught; a local variable that
@@ -132,6 +141,31 @@ def _is_set_expr(node: ast.expr) -> bool:
 
 #: wrappers through which set iteration order still reaches output
 _ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+#: constructors that produce a mutable container (D105)
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "deque", "Counter", "OrderedDict", "ChainMap",
+}
+
+
+def _is_mutable_expr(node: ast.expr) -> bool:
+    """Syntactically certain to evaluate to a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        if dotted and dotted[-1] in _MUTABLE_CONSTRUCTORS:
+            return True
+    return False
+
+
+def _is_constant_name(name: str) -> bool:
+    """``ALL_CAPS`` constants and dunders are exempt from D105."""
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return name == name.upper()
 
 
 class DeterminismVisitor(ast.NodeVisitor):
@@ -288,10 +322,42 @@ class DeterminismVisitor(ast.NodeVisitor):
                       "iteration over an unordered set; wrap it in "
                       "sorted(...) so downstream order is deterministic")
 
+    # --------------------------------------------------- session isolation
+
+    def _check_module_state(self, tree: ast.AST) -> None:
+        """D105: module-level mutable containers in simnet couple sessions."""
+        for stmt in getattr(tree, "body", []):
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not _is_mutable_expr(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_constant_name(target.id):
+                    continue
+                self._add(
+                    stmt, "D105",
+                    f"module-level mutable state {target.id!r} is shared "
+                    "across every interleaved session in the process; scope "
+                    "it to the SessionContext",
+                )
+                break
+
     def run(self, tree: ast.AST) -> List[Finding]:
         self.imports.collect(tree)
         self.visit(tree)
+        if "simnet" in _path_parts(self.path):
+            self._check_module_state(tree)
         return self.findings
+
+
+def _path_parts(path: str) -> Tuple[str, ...]:
+    return tuple(path.replace("\\", "/").split("/"))
 
 
 def check_determinism(path: str, source: str) -> List[Finding]:

@@ -67,6 +67,15 @@ RULES: Dict[str, Rule] = {
             "order is deterministic",
         ),
         Rule(
+            "D105",
+            "session-isolation",
+            "error",
+            "module-level mutable state in repro/simnet/ is shared by every "
+            "interleaved session in the process; scope it to the "
+            "SessionContext (or suppress with a justification for "
+            "deliberately shared, value-safe pools)",
+        ),
+        Rule(
             "M201",
             "consumed-unproduced-metric",
             "error",

@@ -117,7 +117,7 @@ def _load_dataset(path: str) -> Dataset:
     return obj
 
 
-def _default_dataset(kind: str, instances, workers=None):
+def _default_dataset(kind: str, instances, workers=None, sessions_per_proc=None):
     from repro.experiments.common import (
         controlled_dataset,
         realworld_dataset,
@@ -129,6 +129,17 @@ def _default_dataset(kind: str, instances, workers=None):
         "realworld": realworld_dataset,
         "wild": wild_dataset,
     }
+    if sessions_per_proc is not None:
+        if kind != "controlled":
+            raise UsageError(
+                "--sessions-per-proc applies to controlled campaigns only"
+            )
+        return controlled_dataset(
+            n_instances=instances,
+            workers=workers,
+            sessions_per_proc=sessions_per_proc,
+            verbose=True,
+        )
     return builders[kind](n_instances=instances, workers=workers, verbose=True)
 
 
@@ -149,7 +160,12 @@ def _fit_analyzer(train: Dataset, vps: str):
 
 
 def cmd_campaign(args) -> int:
-    dataset = _default_dataset(args.kind, args.instances, workers=args.workers)
+    dataset = _default_dataset(
+        args.kind,
+        args.instances,
+        workers=args.workers,
+        sessions_per_proc=args.sessions_per_proc,
+    )
     with Path(args.out).open("wb") as fh:
         pickle.dump(dataset, fh, protocol=pickle.HIGHEST_PROTOCOL)
     severity = dataset.label_counts("severity")
@@ -338,9 +354,14 @@ def cmd_stream(args) -> int:
                 print(f"  [{args.kind}] {index + 1}/{config.n_instances} "
                       f"(severity={record.severity})", flush=True)
 
+        if args.sessions_per_proc is not None and args.kind != "controlled":
+            raise UsageError(
+                "--sessions-per-proc applies to controlled campaigns only"
+            )
         source = CampaignSource(
             config, start=start, workers=args.workers,
             progress=progress if args.verbose else None,
+            sessions_per_proc=args.sessions_per_proc,
         )
         if args.sink:
             stages.append(JsonlSink(args.sink, config_key=key, start=start))
@@ -550,11 +571,20 @@ def cmd_lint(args) -> int:
         exported = write_sarif(Path(args.sarif), result)
         print(f"wrote {exported} results to {args.sarif}", file=sys.stderr)
 
+    ok = result.ok
+    if args.fail_stale and result.stale_suppressions:
+        ok = False
+        print(
+            f"repro lint: {len(result.stale_suppressions)} stale "
+            "suppression(s) gate the run (--fail-stale); delete the "
+            "allow comments that no longer excuse a finding",
+            file=sys.stderr,
+        )
     if args.json:
         _print_envelope("lint", result.to_dict())
     else:
         print(render_text(result, show_notes=args.notes))
-    return 0 if result.ok else 1
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -568,6 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="simulate instances on N processes (default: "
                         "REPRO_WORKERS or serial); output is identical")
+    p.add_argument("--sessions-per-proc", type=int, default=None, metavar="K",
+                   help="interleave K sessions on one event loop per "
+                        "process (default: REPRO_SESSIONS_PER_PROC or 1); "
+                        "composes with --workers, output is identical "
+                        "(controlled campaigns only)")
     p.add_argument("--out", required=True)
     p.add_argument("--json", action="store_true",
                    help="emit a repro-campaign-v1 summary envelope")
@@ -618,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="simulate instances on N processes; the record "
                         "stream is identical to a serial run")
+    p.add_argument("--sessions-per-proc", type=int, default=None, metavar="K",
+                   help="interleave K sessions on one event loop per "
+                        "process; composes with --workers, the record "
+                        "stream is identical (controlled campaigns only)")
     p.add_argument("--chunk", type=int, default=64,
                    help="sessions per vectorized diagnosis chunk")
     p.add_argument("--sink", metavar="PATH",
@@ -706,6 +745,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-file analysis workers (default: CPU count)")
     p.add_argument("--sarif", metavar="OUT",
                    help="also write findings as a SARIF 2.1.0 log")
+    p.add_argument("--fail-stale", action="store_true",
+                   help="exit non-zero when any suppression comment is "
+                        "stale (excuses nothing); keeps waivers from "
+                        "outliving the violation they excused")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and do not write the incremental cache")
     p.add_argument("--cache-dir", metavar="DIR",

@@ -50,7 +50,9 @@ _packet_ids = itertools.count(1)
 # the refcount up and the object is simply left to the garbage collector.
 
 _POOL_MAX = 512
+# repro: allow[D105] value-safe shared pool: every field is reassigned in __init__ before reuse
 _pool: List["Packet"] = []
+# repro: allow[D105] value-safe shared pool: only provably unreferenced packets are recycled
 _graveyard: List["Packet"] = []
 
 

@@ -169,7 +169,8 @@ class TestSetIteration:
     def test_comprehension_over_set_literal_flagged(self):
         assert rules_of(
             """
-            out = [x for x in {1, 2, 3}]
+            def f():
+                return [x for x in {1, 2, 3}]
             """
         ) == ["D104"]
 
@@ -212,3 +213,91 @@ class TestFindingShape:
         assert finding.rule == "D103"
         assert "simnet/engine.py:2" in finding.render()
         assert "D103" in finding.render()
+
+
+class TestSessionIsolation:
+    """D105: module-level mutable state in simnet couples sessions."""
+
+    def test_list_literal_flagged(self):
+        assert rules_of(
+            """
+            _pool = []
+            """
+        ) == ["D105"]
+
+    def test_dict_and_set_literals_flagged(self):
+        assert rules_of(
+            """
+            _by_flow = {}
+            _seen = set()
+            """
+        ) == ["D105", "D105"]
+
+    def test_collections_containers_flagged(self):
+        assert rules_of(
+            """
+            import collections
+            _queues = collections.defaultdict(list)
+            _ring = collections.deque()
+            """
+        ) == ["D105", "D105"]
+
+    def test_annotated_assignment_flagged(self):
+        assert rules_of(
+            """
+            from typing import List
+            _graveyard: List[int] = []
+            """
+        ) == ["D105"]
+
+    def test_comprehension_flagged(self):
+        assert rules_of(
+            """
+            _tbl = {i: [] for i in range(4)}
+            """
+        ) == ["D105"]
+
+    def test_all_caps_constant_exempt(self):
+        assert rules_of(
+            """
+            RATE_TABLE = [1, 2, 5.5, 11]
+            PRESETS = {"dsl": 1}
+            """
+        ) == []
+
+    def test_dunder_exempt(self):
+        assert rules_of(
+            """
+            __all__ = ["Packet"]
+            """
+        ) == []
+
+    def test_immutable_values_exempt(self):
+        assert rules_of(
+            """
+            _modes = ("batched", "stdlib")
+            _names = frozenset({"a", "b"})
+            _floor = 256
+            """
+        ) == []
+
+    def test_function_and_class_scope_exempt(self):
+        assert rules_of(
+            """
+            def build():
+                cache = {}
+                return cache
+
+            class Endpoint:
+                def __init__(self):
+                    self.out_of_order = []
+            """
+        ) == []
+
+    def test_only_applies_under_simnet(self):
+        findings = check_determinism("analysis/cache.py", "_cache = {}\n")
+        assert findings == []
+        findings = check_determinism(
+            "src/repro/simnet/packet.py", "_pool = []\n"
+        )
+        assert [f.rule for f in findings] == ["D105"]

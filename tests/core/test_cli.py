@@ -59,7 +59,7 @@ def test_campaign_roundtrip(tmp_path, capsys, monkeypatch):
     # Keep the CLI test fast: patch the dataset builder.
     import repro.cli as cli
 
-    def tiny(kind, instances, workers=None):
+    def tiny(kind, instances, workers=None, sessions_per_proc=None):
         from repro.core.dataset import Dataset, Instance
         return Dataset([
             Instance(features={"mobile_tcp_pkts": 1.0},
@@ -137,7 +137,7 @@ def test_campaign_accepts_workers(tmp_path, monkeypatch):
 
     seen = {}
 
-    def tiny(kind, instances, workers=None):
+    def tiny(kind, instances, workers=None, sessions_per_proc=None):
         seen["workers"] = workers
         from repro.core.dataset import Dataset, Instance
         return Dataset([

@@ -112,7 +112,7 @@ def test_campaign_envelope(tmp_path, capsys, monkeypatch):
     import repro.cli as cli
     from repro.core.dataset import Dataset, Instance
 
-    def tiny(kind, instances, workers=None):
+    def tiny(kind, instances, workers=None, sessions_per_proc=None):
         return Dataset([
             Instance(features={"mobile_tcp_pkts": 1.0},
                      labels={"severity": "good", "location": "good",

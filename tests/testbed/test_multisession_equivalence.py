@@ -1,0 +1,152 @@
+"""Multi-session equivalence: interleaving must be invisible in the data.
+
+The multi-session refactor runs K independent sessions on one shared
+event loop (one scheduler, one RNG block allocator).  The bit-identity
+contract: every session's ``SessionRecord`` must be byte-identical to
+running it alone, across sessions-per-proc counts, scheduler
+implementations, RNG modes and worker counts, for progressive *and* ABR
+delivery and for every fault family.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.faults.congestion import LanCongestion, WanCongestion
+from repro.faults.load import MobileLoad
+from repro.faults.shaping import LanShaping, WanShaping
+from repro.faults.unknown import DnsMisconfiguration, MiddleboxInterference
+from repro.faults.wireless_faults import LowRssi, WifiInterference
+from repro.testbed.campaign import CampaignConfig, run_campaign
+from repro.testbed.testbed import SessionSpec, Testbed, TestbedConfig, run_sessions
+from repro.video.catalog import VideoCatalog
+
+#: every concrete fault family, plus the healthy (no-fault) case
+FAULT_FAMILIES = [
+    None,
+    LanCongestion,
+    WanCongestion,
+    MobileLoad,
+    WanShaping,
+    LanShaping,
+    DnsMisconfiguration,
+    MiddleboxInterference,
+    LowRssi,
+    WifiInterference,
+]
+
+_CATALOG = VideoCatalog(size=20, duration_range=(8.0, 11.0), seed=5)
+
+
+def _payload(records):
+    # Pickle per record, not the whole list: pickling a list memoizes
+    # objects shared *across* records without changing any value.
+    return [
+        pickle.dumps(
+            (r.features, r.app_metrics, r.mos, r.severity, r.fault_name,
+             r.fault_severity, r.fault_location, r.fault_intensity, r.meta)
+        )
+        for r in records
+    ]
+
+
+def _specs(kind="video", families=None):
+    """Fresh specs (fresh fault objects and rngs) for one run arm.
+
+    Each arm of a comparison must rebuild its specs: a ``Fault`` owns an
+    intensity rng whose state advances when the fault is applied.
+    """
+    specs = []
+    for i, fault_cls in enumerate(families or FAULT_FAMILIES):
+        config = TestbedConfig(seed=1000 + i)
+        profile = _CATALOG.pick(random.Random(3000 + i))
+        fault = None
+        if fault_cls is not None:
+            severity = "mild" if i % 2 else "severe"
+            fault = fault_cls(severity, random.Random(2000 + i))
+        specs.append(SessionSpec(config, profile, fault, kind))
+    return specs
+
+
+def _solo(kind="video", families=None):
+    records = []
+    for spec in _specs(kind, families):
+        testbed = Testbed(spec.config)
+        if kind == "video":
+            records.append(testbed.run_video_session(spec.profile, spec.fault))
+        else:
+            records.append(testbed.run_abr_session(spec.profile, spec.fault))
+        testbed.shutdown()
+    return records
+
+
+# --------------------------------------------------------- batch vs solo
+
+
+def test_batch_video_matches_solo_every_fault_family():
+    """K interleaved progressive sessions == K solo runs, per fault family."""
+    solo = _payload(_solo("video"))
+    batch = _payload(Testbed.run_video_sessions(_specs("video")))
+    assert batch == solo
+
+
+def test_batch_abr_matches_solo():
+    """Interleaving is delivery-agnostic: ABR sessions are identical too."""
+    families = [None, WanCongestion, LowRssi, MobileLoad]
+    solo = _payload(_solo("abr", families))
+    batch = _payload(Testbed.run_abr_sessions(_specs("abr", families)))
+    assert batch == solo
+
+
+def test_batch_identical_across_schedulers():
+    calendar = _payload(Testbed.run_video_sessions(
+        _specs("video"), scheduler="calendar"))
+    reference = _payload(Testbed.run_video_sessions(
+        _specs("video"), scheduler="reference"))
+    assert calendar == reference
+
+
+def test_batch_identical_across_rng_modes():
+    batched = _payload(Testbed.run_video_sessions(
+        _specs("video"), rng_mode="batched"))
+    stdlib = _payload(Testbed.run_video_sessions(
+        _specs("video"), rng_mode="stdlib"))
+    assert batched == stdlib
+
+
+# ------------------------------------------------------- campaign level
+
+
+def _tiny_campaign():
+    return CampaignConfig(n_instances=8, seed=123,
+                          video_duration_range=(8.0, 10.0))
+
+
+@pytest.fixture(scope="module")
+def serial_campaign():
+    """The serial reference arm, shared by every campaign comparison."""
+    return _payload(run_campaign(_tiny_campaign(), workers=1,
+                                 sessions_per_proc=1))
+
+
+@pytest.mark.parametrize("k", [8, 64])
+def test_campaign_sessions_per_proc_identical(serial_campaign, k):
+    """sessions_per_proc K ∈ {8, 64} == the serial reference, workers=1."""
+    interleaved = _payload(run_campaign(_tiny_campaign(), workers=1,
+                                        sessions_per_proc=k))
+    assert interleaved == serial_campaign
+
+
+def test_campaign_composes_with_workers(serial_campaign):
+    """workers x sessions_per_proc: batches fan out over the pool."""
+    combined = _payload(run_campaign(_tiny_campaign(), workers=4,
+                                     sessions_per_proc=2))
+    assert combined == serial_campaign
+
+
+def test_campaign_env_knob(serial_campaign, monkeypatch):
+    """REPRO_SESSIONS_PER_PROC is the env twin of the argument."""
+    monkeypatch.setenv("REPRO_SESSIONS_PER_PROC", "4")
+    via_env = _payload(run_campaign(_tiny_campaign(), workers=1))
+    assert via_env == serial_campaign
