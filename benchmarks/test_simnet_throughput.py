@@ -9,7 +9,10 @@ the calendar queue's insertion win), campaign records/sec at
 sessions-per-proc sweep then measures the interleaved path: K sessions
 on one shared event loop (``sessions_interleaved`` in the JSON, with a
 records/sec regression floor of its own; ``REPRO_SIMNET_BENCH_SESSIONS``
-sizes the sweep campaign).
+sizes the sweep campaign).  A sharded sweep then times the full sharded
+contract — ``orchestrate`` (shard subprocesses + supervision) plus
+``merge_shards`` — at 1 and 4 shards over the same campaign
+(``sharded_campaign`` in the JSON, trend-only).
 
 Results land twice: ``benchmarks/reports/simnet_throughput.txt`` for
 humans and ``BENCH_simnet.json`` at the repo root for machines.  The
@@ -24,11 +27,13 @@ import multiprocessing
 import os
 import platform
 import resource
+import tempfile
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.pipeline import OrchestratorSettings, merge_shards, orchestrate
 from repro.simnet.engine import Simulator
 from repro.testbed.campaign import CampaignConfig, run_campaign
 
@@ -123,6 +128,29 @@ def test_simnet_throughput(report):
         })
     best = max(sweep, key=lambda row: row["records_per_sec"])
 
+    # -- sharded campaign sweep: supervised shards, merged spool ------------
+    # Wall clock covers the whole contract (orchestrate + merge), so the
+    # numbers are comparable to the serial spool path.  Trend-only: shard
+    # subprocess fan-out wobbles across runner classes, so the delta is
+    # printed but never gates.
+    shard_sweep = []
+    with tempfile.TemporaryDirectory() as td:
+        for shards in (1, 4):
+            base = Path(td) / f"campaign-{shards:02d}.jsonl"
+            start = time.perf_counter()
+            run = orchestrate(
+                sweep_config, base, shards,
+                settings=OrchestratorSettings(poll_interval=0.02),
+            )
+            assert run.ok
+            merged = merge_shards(base, shards)
+            elapsed = time.perf_counter() - start
+            assert merged.records == sweep_n
+            shard_sweep.append({
+                "shards": shards,
+                "records_per_sec": round(sweep_n / elapsed, 4),
+            })
+
     result = {
         "schema": 1,
         "event_loop": {
@@ -140,6 +168,10 @@ def test_simnet_throughput(report):
             "instances": sweep_n,
             "sweep": sweep,
             "best": best,
+        },
+        "sharded_campaign": {
+            "instances": sweep_n,
+            "sweep": shard_sweep,
         },
         "peak_rss_kb": rss_kb,
         "python": platform.python_version(),
@@ -160,6 +192,26 @@ def test_simnet_throughput(report):
             f"(K={row['sessions_per_proc']:<3d} of {sweep_n} instances, "
             f"RSS {row['peak_rss_kb'] / 1024:.1f} MB)"
         )
+    for row in shard_sweep:
+        lines.append(
+            f"  sharded      {row['records_per_sec']:8.3f} records/s   "
+            f"({row['shards']} shard(s) of {sweep_n} instances, "
+            "orchestrate + merge)"
+        )
+    if baseline is not None and baseline.get("sharded_campaign"):
+        base_rows = {
+            row["shards"]: row["records_per_sec"]
+            for row in baseline["sharded_campaign"]["sweep"]
+        }
+        for row in shard_sweep:
+            base_rps = base_rows.get(row["shards"])
+            if base_rps:
+                lines.append(
+                    f"  sharded base {base_rps:8.3f} records/s   "
+                    f"({row['shards']} shard(s), delta "
+                    f"{row['records_per_sec'] / base_rps - 1.0:+.1%}, "
+                    "trend only)"
+                )
     if baseline is not None:
         base_eps = baseline["event_loop"]["events_per_sec"]
         lines.append(

@@ -5,7 +5,13 @@ Commands
 
 ``campaign``
     Simulate a labelled dataset (controlled / realworld / wild) and save
-    it as a pickle.
+    it as a pickle.  With ``--shards N`` the controlled campaign's
+    instance space is seed-partitioned into N independently resumable
+    JSONL shard spools instead: ``--shard K`` runs one shard (on this
+    host or any other), ``--orchestrate`` supervises all N as
+    subprocesses with checkpoint-resume retries, and ``--merge``
+    reassembles the shard spools into the exact serial record order,
+    byte-identical to a never-sharded run.
 ``evaluate``
     Run one of the paper's experiments against a dataset (cached default
     or a pickle produced by ``campaign``).
@@ -63,6 +69,8 @@ Examples
 
     python -m repro campaign --kind controlled --instances 120 \
         --workers 4 --out lab.pkl
+    python -m repro campaign --instances 100000 --shards 16 \
+        --orchestrate --out mega.jsonl --json
     python -m repro evaluate --experiment fig3 --dataset lab.pkl
     python -m repro diagnose --train lab.pkl --vps mobile --limit 5
     python -m repro stream --kind controlled --instances 200 \
@@ -159,7 +167,183 @@ def _fit_analyzer(train: Dataset, vps: str):
         raise CliError(str(exc)) from exc
 
 
+def _campaign_shard_config(args):
+    """The controlled-campaign config every sharded mode shares.
+
+    Sharding is defined over the controlled campaign's seed draws, so
+    the serial (``--shards 1``) reference and every shard of an N-way
+    run build the exact same config — that identity is what the
+    config fingerprint in each manifest pins down.
+    """
+    from repro.experiments.common import CONTROLLED_N, scaled
+    from repro.testbed.campaign import CampaignConfig
+
+    return CampaignConfig(
+        n_instances=(args.instances if args.instances
+                     else scaled(CONTROLLED_N)),
+        seed=args.seed if args.seed is not None else 42,
+    )
+
+
+def _check_shard_flags(args) -> None:
+    """Reject invalid sharded-campaign flag combinations (exit 2)."""
+    if args.shards is None:
+        conflicts = [flag for flag, value in (
+            ("--shard", args.shard is not None),
+            ("--orchestrate", args.orchestrate),
+            ("--merge", args.merge),
+            ("--resume", args.resume),
+        ) if value]
+        if conflicts:
+            raise UsageError(f"{', '.join(conflicts)} require(s) --shards N")
+        return
+    if args.shards < 1:
+        raise UsageError(f"--shards must be >= 1, got {args.shards}")
+    if args.kind != "controlled":
+        raise UsageError("--shards applies to controlled campaigns only")
+    modes = [flag for flag, value in (
+        ("--shard", args.shard is not None),
+        ("--orchestrate", args.orchestrate),
+        ("--merge", args.merge),
+    ) if value]
+    if len(modes) != 1:
+        raise UsageError(
+            "--shards needs exactly one of --shard K, --orchestrate "
+            f"or --merge (got {', '.join(modes) if modes else 'none'})"
+        )
+    if args.shard is not None and not 0 <= args.shard < args.shards:
+        raise UsageError(
+            f"--shard must be in [0, {args.shards}), got {args.shard}"
+        )
+    if args.resume and args.shard is None and not args.orchestrate:
+        raise UsageError("--resume applies to --shard/--orchestrate runs")
+
+
+def _cmd_campaign_sharded(args) -> int:
+    from repro.pipeline import (
+        NotShardedError,
+        OrchestratorSettings,
+        ShardError,
+        merge_shards,
+        orchestrate,
+        run_shard,
+        shard_spool_path,
+    )
+
+    config = _campaign_shard_config(args)
+    base = args.out
+
+    if args.merge:
+        try:
+            merged = merge_shards(base, args.shards)
+        except NotShardedError as exc:
+            raise UsageError(str(exc)) from exc
+        except ShardError as exc:
+            raise CliError(str(exc)) from exc
+        if args.json:
+            _print_envelope("campaign-shard", {
+                "mode": "merge",
+                "out": str(merged.out),
+                "shards": merged.shards,
+                "records": merged.records,
+                "config_key": merged.config_key,
+            })
+        else:
+            print(f"merged {merged.records} records from {merged.shards} "
+                  f"shards into {merged.out}")
+        return 0
+
+    if args.orchestrate:
+        settings = OrchestratorSettings(
+            max_retries=args.retries,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
+
+        def log(event: str, shard: int, detail: str) -> None:
+            if not args.json:
+                print(f"  [shard {shard}] {event}"
+                      + (f": {detail}" if detail else ""), flush=True)
+
+        result = orchestrate(
+            config, base, args.shards,
+            workers=args.workers,
+            sessions_per_proc=args.sessions_per_proc,
+            settings=settings,
+            log=log,
+        )
+        if not result.ok:
+            detail = json.dumps(result.to_dict())
+            raise CliError(
+                f"shards {result.failed_shards} exhausted their retry "
+                f"budget ({args.retries}); partial spools are preserved "
+                f"next to {base} — {detail}"
+            )
+        merged = merge_shards(base, args.shards)
+        if args.json:
+            _print_envelope("campaign-shard", {
+                "mode": "orchestrate",
+                "out": str(merged.out),
+                "shards": args.shards,
+                "records": merged.records,
+                "retries": result.retries,
+                "config_key": merged.config_key,
+                "shard_status": result.to_dict()["shards"],
+            })
+        else:
+            print(f"orchestrated {args.shards} shards "
+                  f"({result.retries} retries); merged {merged.records} "
+                  f"records into {merged.out}")
+        return 0
+
+    # One shard of an N-way campaign (run on this host or any other).
+    if args.resume:
+        spool = shard_spool_path(base, args.shard, args.shards)
+        from repro.pipeline import load_manifest
+
+        if spool.exists() and load_manifest(spool) is None:
+            raise UsageError(
+                f"{spool} exists but has no shard manifest; it was not "
+                "written by a sharded campaign, refusing to resume"
+            )
+
+    def progress(index: int, record) -> None:
+        if not args.json:
+            print(f"  [shard {args.shard}] instance {index} "
+                  f"(severity={record.severity})", flush=True)
+
+    try:
+        shard_run = run_shard(
+            config, base, args.shards, args.shard,
+            workers=args.workers,
+            sessions_per_proc=args.sessions_per_proc,
+            resume=args.resume,
+            progress=progress if args.verbose else None,
+        )
+    except NotShardedError as exc:
+        raise UsageError(str(exc)) from exc
+    except ShardError as exc:
+        raise CliError(str(exc)) from exc
+    if args.json:
+        _print_envelope("campaign-shard", {
+            "mode": "shard",
+            "shard": shard_run.shard,
+            "shards": shard_run.shards,
+            "spool": str(shard_run.spool),
+            "records": shard_run.records,
+            "resumed_at": shard_run.resumed_at,
+        })
+    else:
+        print(f"shard {shard_run.shard}/{shard_run.shards}: "
+              f"{shard_run.records} records in {shard_run.spool}"
+              + (f" (resumed at {shard_run.resumed_at})"
+                 if shard_run.resumed_at else ""))
+    return 0
+
+
 def cmd_campaign(args) -> int:
+    _check_shard_flags(args)
+    if args.shards is not None:
+        return _cmd_campaign_sharded(args)
     dataset = _default_dataset(
         args.kind,
         args.instances,
@@ -603,9 +787,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "process (default: REPRO_SESSIONS_PER_PROC or 1); "
                         "composes with --workers, output is identical "
                         "(controlled campaigns only)")
-    p.add_argument("--out", required=True)
+    p.add_argument("--out", required=True,
+                   help="dataset pickle path; with --shards, the JSONL "
+                        "spool base path shards and the merge derive from")
+    p.add_argument("--seed", type=int, default=None,
+                   help="campaign seed (default: 42); part of the config "
+                        "fingerprint every shard manifest pins")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="partition the campaign's instance space into N "
+                        "seed-derived shards, each an independently "
+                        "resumable JSONL spool (controlled campaigns only)")
+    p.add_argument("--shard", type=int, default=None, metavar="K",
+                   help="run only shard K of --shards N (for manual or "
+                        "cross-host fan-out); records land in "
+                        "<out>.shardK-of-N.jsonl with a manifest sidecar")
+    p.add_argument("--orchestrate", action="store_true",
+                   help="supervise all N shards as subprocesses: dead or "
+                        "hung shards are retried from their last "
+                        "checkpoint with bounded backoff, then the spools "
+                        "are merged into --out in exact serial order")
+    p.add_argument("--merge", action="store_true",
+                   help="merge N completed shard spools into --out, "
+                        "byte-identical to a never-sharded serial run")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted shard spool from its "
+                        "checkpoint (bit-identical to an unbroken run)")
+    p.add_argument("--retries", type=int, default=2, metavar="R",
+                   help="orchestrator relaunches allowed per shard "
+                        "(default: 2)")
+    p.add_argument("--heartbeat-timeout", type=float, default=60.0,
+                   metavar="S",
+                   help="seconds without checkpoint progress before the "
+                        "orchestrator declares a live shard hung and "
+                        "SIGKILLs it (default: 60)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-instance progress in --shard mode")
     p.add_argument("--json", action="store_true",
-                   help="emit a repro-campaign-v1 summary envelope")
+                   help="emit a repro-campaign-v1 summary envelope "
+                        "(repro-campaign-shard-v1 in sharded modes)")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("evaluate", help="run a paper experiment")

@@ -38,18 +38,45 @@ from repro.pipeline.checkpoint import (
     Checkpoint,
     checkpoint_path,
     config_fingerprint,
+    durable_write,
+    fsync_directory,
     load_checkpoint,
     resume_position,
     save_checkpoint,
 )
 from repro.pipeline.construct import ConstructStage, InstanceStage
 from repro.pipeline.diagnose import Diagnosed, DiagnoseStage
+from repro.pipeline.orchestrate import (
+    OrchestrateResult,
+    OrchestratorSettings,
+    ShardStatus,
+    orchestrate,
+)
 from repro.pipeline.pipeline import Pipeline, SchemaError, validate_schema
 from repro.pipeline.records import (
     record_from_dict,
     record_from_json,
     record_to_dict,
     record_to_json,
+)
+from repro.pipeline.shard import (
+    MergeResult,
+    NotShardedError,
+    ShardError,
+    ShardManifest,
+    ShardResult,
+    clear_shard,
+    load_manifest,
+    load_shard_manifests,
+    manifest_path,
+    merge_shards,
+    plan_shards,
+    run_shard,
+    save_manifest,
+    shard_complete,
+    shard_progress,
+    shard_resume_position,
+    shard_spool_path,
 )
 from repro.pipeline.sinks import CollectSink, CountSink, DatasetSink, JsonlSink
 from repro.pipeline.sources import CampaignSource, IterableSource, JsonlSource
@@ -69,20 +96,43 @@ __all__ = [
     "IterableSource",
     "JsonlSink",
     "JsonlSource",
+    "MergeResult",
+    "NotShardedError",
+    "OrchestrateResult",
+    "OrchestratorSettings",
     "Pipeline",
     "SchemaError",
+    "ShardError",
+    "ShardManifest",
+    "ShardResult",
+    "ShardStatus",
     "Sink",
     "Source",
     "Stage",
     "checkpoint_path",
     "chunked",
+    "clear_shard",
     "config_fingerprint",
+    "durable_write",
+    "fsync_directory",
     "load_checkpoint",
+    "load_manifest",
+    "load_shard_manifests",
+    "manifest_path",
+    "merge_shards",
+    "orchestrate",
+    "plan_shards",
     "record_from_dict",
     "record_from_json",
     "record_to_dict",
     "record_to_json",
     "resume_position",
+    "run_shard",
     "save_checkpoint",
+    "save_manifest",
+    "shard_complete",
+    "shard_progress",
+    "shard_resume_position",
+    "shard_spool_path",
     "validate_schema",
 ]

@@ -8,10 +8,15 @@ function of ``(config, index, instance_seed)`` and the per-instance seeds
 are all drawn up front, restarting at ``completed`` yields bit-identical
 records to a never-interrupted run.
 
-Crash safety: the sidecar is written atomically (tmp + rename) *after*
-its record's spool line, so a crash can leave at most one un-checkpointed
-or partial trailing line; :func:`resume_position` truncates the spool
-back to the last checkpointed record before the campaign restarts.
+Crash safety: the sidecar is written atomically (tmp + fsync + rename +
+directory fsync) *after* its record's spool line, so a crash can leave at
+most one un-checkpointed or partial trailing line; :func:`resume_position`
+truncates the spool back to the last checkpointed record before the
+campaign restarts.  The directory fsync matters: ``rename`` alone makes
+the new sidecar *contents* durable but not the directory entry, so a
+power cut (or SIGKILL racing a dirty page cache) between the rename and
+the next journal commit could resurface the old sidecar — or none at all
+— while the spool already carries the newer records.
 """
 
 from __future__ import annotations
@@ -32,6 +37,39 @@ def checkpoint_path(spool: Union[str, Path]) -> Path:
     """The sidecar path for a spool file."""
     spool = Path(spool)
     return spool.with_name(spool.name + ".ckpt")
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Flush a directory's entry table to disk (best effort off-POSIX).
+
+    After ``os.replace`` the *file* is durable but the directory entry
+    pointing at it may not be; syncing the directory closes that window.
+    Platforms that cannot open a directory for reading (Windows) skip.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX fallback
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def durable_write(path: Path, text: str) -> None:
+    """Atomically and *durably* replace ``path`` with ``text``.
+
+    tmp write + file fsync + rename + directory fsync: after this
+    returns, a crash at any point leaves either the old or the new
+    content — never a torn file, and never a rename that evaporates.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_directory(path.parent)
 
 
 def config_fingerprint(config: object) -> str:
@@ -64,11 +102,8 @@ class Checkpoint:
 
 
 def save_checkpoint(spool: Union[str, Path], checkpoint: Checkpoint) -> None:
-    """Atomically write the sidecar for ``spool``."""
-    path = checkpoint_path(spool)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(checkpoint.to_dict()))
-    os.replace(tmp, path)
+    """Atomically and durably write the sidecar for ``spool``."""
+    durable_write(checkpoint_path(spool), json.dumps(checkpoint.to_dict()))
 
 
 def load_checkpoint(spool: Union[str, Path]) -> Optional[Checkpoint]:

@@ -46,6 +46,9 @@ EXTERNAL = "external:"
 RECORD_V1 = "repro-record-v1"
 #: spool checkpoint sidecar (``pipeline.checkpoint``)
 CHECKPOINT_V1 = "repro-ckpt-v1"
+#: shard manifest sidecar: which campaign indices one shard owns
+#: (``pipeline.shard``) — what lets a merge reconstruct serial order
+SHARD_MANIFEST_V1 = "repro-shard-manifest-v1"
 #: telemetry trace export / JSONL interchange (``obs``)
 TRACE_V1 = "repro-trace-v1"
 #: captured packet trace (``simnet.trace``) — distinct from the
@@ -79,6 +82,9 @@ SERVE_ERROR_V1 = "repro-error-v1"
 # subcommand, minted uniformly by :func:`envelope_tag`.
 
 CAMPAIGN_ENVELOPE_V1 = "repro-campaign-v1"
+#: sharded-campaign modes of `repro campaign` (--shards/--orchestrate/
+#: --merge) share one envelope distinct from the pickle-writing default
+CAMPAIGN_SHARD_ENVELOPE_V1 = "repro-campaign-shard-v1"
 DIAGNOSE_ENVELOPE_V1 = "repro-diagnose-v1"
 REPORT_ENVELOPE_V1 = "repro-report-v1"
 STREAM_ENVELOPE_V1 = "repro-stream-v1"
@@ -126,6 +132,13 @@ SCHEMAS: Tuple[WireSchema, ...] = (
         doc="atomic spool checkpoint sidecar",
         producers=("pipeline/checkpoint.py",),
         consumers=("pipeline/checkpoint.py",),
+    ),
+    WireSchema(
+        tag=SHARD_MANIFEST_V1,
+        doc="shard manifest: the campaign indices one shard spool owns",
+        producers=("pipeline/shard.py",),
+        consumers=("pipeline/shard.py", EXTERNAL + "tests/pipeline",
+                   EXTERNAL + "cross-host shard runners"),
     ),
     WireSchema(
         tag=TRACE_V1,
@@ -205,6 +218,13 @@ SCHEMAS: Tuple[WireSchema, ...] = (
         doc="`repro campaign --json` summary envelope",
         producers=("cli.py",),
         consumers=(EXTERNAL + "tests/core",),
+    ),
+    WireSchema(
+        tag=CAMPAIGN_SHARD_ENVELOPE_V1,
+        doc="`repro campaign --shards/--orchestrate/--merge --json` envelope",
+        producers=("cli.py",),
+        consumers=(EXTERNAL + "tests/core", EXTERNAL + "CI",
+                   EXTERNAL + "examples/shard_smoke.py"),
     ),
     WireSchema(
         tag=DIAGNOSE_ENVELOPE_V1,

@@ -88,6 +88,24 @@ def campaign_seeds(seed: int, n_instances: int) -> List[int]:
     return [rng.randrange(2**31) for _ in range(n_instances)]
 
 
+def shard_partition(seeds: Sequence[int], shards: int) -> List[List[int]]:
+    """Partition instance indices into ``shards`` buckets by seed value.
+
+    Shard ``k`` owns every index ``i`` with ``seeds[i] % shards == k``:
+    a pure function of the campaign's own seed draws, so any process on
+    any host that knows ``(config.seed, n_instances, shards)`` computes
+    the identical partition.  Every index lands in exactly one shard and
+    each shard's index list is ascending — the two invariants the merge
+    step's order reconstruction relies on (and the property tests pin).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    buckets: List[List[int]] = [[] for _ in range(shards)]
+    for index, instance_seed in enumerate(seeds):
+        buckets[instance_seed % shards].append(index)
+    return buckets
+
+
 def env_workers() -> int:
     """The ``REPRO_WORKERS`` default, tolerating unset/garbage values.
 
@@ -177,8 +195,9 @@ def iter_instances(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     start: int = 0,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> Iterator[SessionRecord]:
-    """Yield one record per ``(index, seed)`` pair, in index order.
+    """Yield one record per ``(index, seed)`` pair, in pair order.
 
     With ``workers > 1`` (and a fork-capable platform) instances are
     dispatched to a process pool in chunks; results stream back in order
@@ -188,11 +207,17 @@ def iter_instances(
     ``start`` skips the first ``start`` instances while keeping absolute
     indices and per-instance seeds unchanged — the records produced for
     indices ``start..`` are bit-identical to the tail of a full run,
-    which is what makes checkpoint/resume exact.
+    which is what makes checkpoint/resume exact.  ``pairs`` replaces the
+    ``seeds``/``start`` prefix convention with an explicit ``(index,
+    seed)`` subsequence — the shard primitive: any subset of the
+    campaign's instance space runs with absolute indices and seeds
+    unchanged, so sharded records stay bit-identical to serial ones.
     """
-    if start:
-        seeds = seeds[start:]
-    n = len(seeds)
+    if pairs is None:
+        pairs = [(start + off, seed) for off, seed in enumerate(seeds[start:])]
+    else:
+        pairs = list(pairs)
+    n = len(pairs)
     workers = min(resolve_workers(workers), max(1, n))
     context = _fork_context() if workers > 1 else None
     if multiprocessing.current_process().daemon:
@@ -200,8 +225,7 @@ def iter_instances(
     tel = get_telemetry()
     with tel.span("campaign.run", n=n, workers=workers, start=start) as run:
         if context is None or workers <= 1:
-            for offset, instance_seed in enumerate(seeds):
-                index = start + offset
+            for index, instance_seed in pairs:
                 with tel.span("campaign.instance", index=index):
                     record = instance_fn(config, index, instance_seed)
                 run.count("instances")
@@ -214,18 +238,18 @@ def iter_instances(
             # each) while still amortising dispatch for large campaigns.
             chunksize = max(1, min(4, n // (workers * 4)))
         jobs: List[_Job] = [
-            (instance_fn, config, start + offset, seed, tel.enabled)
-            for offset, seed in enumerate(seeds)
+            (instance_fn, config, index, seed, tel.enabled)
+            for index, seed in pairs
         ]
         with context.Pool(processes=workers) as pool:
-            for offset, (record, payload) in enumerate(
-                pool.imap(_run_job, jobs, chunksize=chunksize)
+            for (index, _seed), (record, payload) in zip(
+                pairs, pool.imap(_run_job, jobs, chunksize=chunksize)
             ):
                 if payload is not None:
                     tel.absorb(payload)
                 run.count("instances")
                 if progress is not None:
-                    progress(start + offset, record)
+                    progress(index, record)
                 yield record
 
 
@@ -258,6 +282,7 @@ def iter_instance_batches(
     progress: Optional[ProgressFn] = None,
     workers: Optional[int] = None,
     start: int = 0,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> Iterator[SessionRecord]:
     """Yield records in index order, K sessions interleaved per process.
 
@@ -269,10 +294,17 @@ def iter_instance_batches(
     interleaving amortize per-event engine overhead, they never touch
     per-session draws — so ``sessions_per_proc`` composes freely with
     ``workers`` (groups fan out over the fork pool) and ``start``
-    (absolute indices and per-instance seeds are unchanged).
+    (absolute indices and per-instance seeds are unchanged).  ``pairs``
+    supplies an explicit ``(index, seed)`` subsequence instead (the
+    shard primitive); grouping is then pair-order-local, which is safe
+    because interleaving never touches a session's own draws.
     """
     k = max(1, int(sessions_per_proc))
-    indexed = [(start + off, seed) for off, seed in enumerate(seeds[start:])]
+    if pairs is None:
+        indexed = [(start + off, seed)
+                   for off, seed in enumerate(seeds[start:])]
+    else:
+        indexed = list(pairs)
     groups = [tuple(indexed[i : i + k]) for i in range(0, len(indexed), k)]
     n = len(indexed)
     workers = min(resolve_workers(workers), max(1, len(groups)))
@@ -430,6 +462,35 @@ def iter_campaign(
         progress=progress,
         workers=workers,
         start=start,
+    )
+
+
+def iter_campaign_pairs(
+    config: CampaignConfig,
+    pairs: Sequence[Tuple[int, int]],
+    progress: Optional[ProgressFn] = None,
+    workers: Optional[int] = None,
+    sessions_per_proc: Optional[int] = None,
+) -> Iterator[SessionRecord]:
+    """Yield records for an explicit ``(index, seed)`` subsequence.
+
+    The shard entry point: a shard owns an arbitrary ascending subset of
+    the campaign's instance space (see :func:`shard_partition`), and
+    because every instance is a pure function of ``(config, index,
+    instance_seed)``, running the subset produces records bit-identical
+    to the same positions of a serial full run.  ``workers`` and
+    ``sessions_per_proc`` compose exactly as in :func:`iter_campaign`.
+    """
+    k = resolve_sessions_per_proc(sessions_per_proc)
+    if k > 1:
+        yield from iter_instance_batches(
+            _controlled_batch, config, (), k,
+            progress=progress, workers=workers, pairs=pairs,
+        )
+        return
+    yield from iter_instances(
+        _controlled_instance, config, (),
+        progress=progress, workers=workers, pairs=pairs,
     )
 
 

@@ -174,3 +174,63 @@ def test_lint_envelope(tmp_path, capsys, monkeypatch):
     assert main(["lint", str(src), "--json"]) == 0
     data = unwrap(capsys.readouterr().out, "lint")
     assert data["ok"] is True
+
+
+# ------------------------------------------------------ sharded campaigns
+
+
+@pytest.mark.parametrize("argv, fragment", [
+    (["campaign", "--out", "c.jsonl", "--shard", "1"],
+     "require(s) --shards"),
+    (["campaign", "--out", "c.jsonl", "--orchestrate"],
+     "require(s) --shards"),
+    (["campaign", "--out", "c.jsonl", "--merge"], "require(s) --shards"),
+    (["campaign", "--out", "c.jsonl", "--resume"], "require(s) --shards"),
+    (["campaign", "--out", "c.jsonl", "--shards", "0", "--shard", "0"],
+     ">= 1"),
+    (["campaign", "--out", "c.jsonl", "--shards", "2"], "exactly one"),
+    (["campaign", "--out", "c.jsonl", "--shards", "2", "--shard", "0",
+      "--orchestrate"], "exactly one"),
+    (["campaign", "--out", "c.jsonl", "--shards", "2", "--merge",
+      "--orchestrate"], "exactly one"),
+    (["campaign", "--out", "c.jsonl", "--shards", "2", "--shard", "2"],
+     "in [0, 2)"),
+    (["campaign", "--kind", "realworld", "--out", "c.jsonl",
+      "--shards", "2", "--shard", "0"], "controlled"),
+    (["campaign", "--out", "c.jsonl", "--shards", "2", "--merge",
+      "--resume"], "--resume applies"),
+], ids=["shard-alone", "orchestrate-alone", "merge-alone", "resume-alone",
+        "zero-shards", "no-mode", "two-modes", "merge-and-orchestrate",
+        "shard-out-of-range", "non-controlled", "resume-with-merge"])
+def test_shard_flag_conflicts_are_usage_errors(argv, fragment, capsys):
+    assert main(argv) == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_resume_of_unsharded_spool_is_usage_error(tmp_path, capsys):
+    from repro.pipeline import shard_spool_path
+
+    base = tmp_path / "c.jsonl"
+    spool = shard_spool_path(base, 0, 2)
+    spool.write_text('{"not": "a sharded spool"}\n')
+    rc = main(["campaign", "--out", str(base), "--shards", "2",
+               "--shard", "0", "--resume"])
+    assert rc == 2
+    assert "no shard manifest" in capsys.readouterr().err
+
+
+def test_campaign_shard_envelope(tmp_path, capsys):
+    base = tmp_path / "c.jsonl"
+    argv = ["campaign", "--instances", "2", "--seed", "9",
+            "--out", str(base), "--json"]
+    assert main(argv + ["--shards", "1", "--shard", "0"]) == 0
+    data = unwrap(capsys.readouterr().out, "campaign-shard")
+    assert data["mode"] == "shard"
+    assert data["shard"] == 0 and data["shards"] == 1
+    assert data["records"] == 2 and data["resumed_at"] == 0
+
+    assert main(argv + ["--shards", "1", "--merge"]) == 0
+    data = unwrap(capsys.readouterr().out, "campaign-shard")
+    assert data["mode"] == "merge"
+    assert data["records"] == 2
+    assert data["out"] == str(base)

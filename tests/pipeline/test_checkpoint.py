@@ -78,6 +78,34 @@ class TestSidecar:
         assert not checkpoint_path(spool).exists()
 
 
+class TestDurability:
+    def test_sidecar_write_fsyncs_file_and_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: rename alone leaves the directory entry volatile —
+        # a crash could resurface the old sidecar (or none) while the
+        # spool already holds newer records.  Record every fsynced inode
+        # (while still really syncing) and require both the sidecar file
+        # and its containing directory, in that order.
+        import os
+
+        real_fsync = os.fsync
+        synced = []
+
+        def recording_fsync(fd):
+            synced.append(os.fstat(fd).st_ino)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        spool = tmp_path / "c.jsonl"
+        save_checkpoint(spool, Checkpoint(config_key="k1", completed=3))
+        file_ino = os.stat(checkpoint_path(spool)).st_ino
+        dir_ino = os.stat(tmp_path).st_ino
+        assert file_ino in synced
+        assert dir_ino in synced
+        assert synced.index(file_ino) < synced.index(dir_ino)
+
+
 class TestResumePosition:
     def test_fresh_spool_starts_at_zero(self, tmp_path):
         assert resume_position(tmp_path / "c.jsonl", "k1") == 0

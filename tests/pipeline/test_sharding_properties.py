@@ -1,0 +1,196 @@
+"""Property tests for shard partitioning, merge order, and resume.
+
+Hypothesis drives arbitrary shard counts, campaign sizes and kill
+schedules through the *bookkeeping* layer — no simulation.  The merge
+and resume machinery is content-agnostic (raw byte lines + manifests),
+so synthetic spools pin the same invariants the real campaign relies
+on, thousands of cases per second:
+
+- every index lands in exactly one shard, ascending within its shard;
+- the partition is a pure function of ``(seed, n, shards)``;
+- a k-way merge of arbitrary shard spools reconstructs serial byte
+  order exactly;
+- resuming after an arbitrary sequence of cuts (crashes) at arbitrary
+  checkpoints converges to the same bytes as a never-crashed run.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.checkpoint import Checkpoint, save_checkpoint
+from repro.pipeline.shard import (
+    ShardManifest,
+    merge_shards,
+    save_manifest,
+    shard_resume_position,
+    shard_spool_path,
+)
+from repro.testbed.campaign import campaign_seeds, shard_partition
+
+CONFIG_KEY = "feedbeeffeedbeef"
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(0, 200),
+    shards=st.integers(1, 12),
+)
+def test_partition_covers_every_index_exactly_once(seed, n, shards):
+    seeds = campaign_seeds(seed, n)
+    parts = shard_partition(seeds, shards)
+    assert len(parts) == shards
+    flat = [i for part in parts for i in part]
+    assert sorted(flat) == list(range(n))
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(0, 200),
+    shards=st.integers(1, 12),
+)
+def test_partition_ascending_and_seed_keyed(seed, n, shards):
+    seeds = campaign_seeds(seed, n)
+    for shard, part in enumerate(shard_partition(seeds, shards)):
+        assert part == sorted(part)
+        assert all(seeds[i] % shards == shard for i in part)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(0, 200),
+    shards=st.integers(1, 12),
+)
+def test_partition_stable_across_calls(seed, n, shards):
+    seeds = campaign_seeds(seed, n)
+    assert shard_partition(seeds, shards) == shard_partition(seeds, shards)
+
+
+def _lines(n, seed):
+    """Distinct, record-shaped byte lines for a synthetic campaign."""
+    return [
+        (json.dumps({"index": i, "seed": seed, "pad": i * 7}) + "\n").encode()
+        for i in range(n)
+    ]
+
+
+def _write_shards(base, shards, seed, lines):
+    """Write every shard's spool + manifest for a synthetic campaign."""
+    n = len(lines)
+    seeds = campaign_seeds(seed, n)
+    parts = shard_partition(seeds, shards)
+    manifests = []
+    for shard, indices in enumerate(parts):
+        spool = shard_spool_path(base, shard, shards)
+        manifest = ShardManifest(
+            config_key=CONFIG_KEY, campaign_seed=seed, n_instances=n,
+            shards=shards, shard=shard, indices=tuple(indices),
+        )
+        save_manifest(spool, manifest)
+        spool.write_bytes(b"".join(lines[i] for i in indices))
+        manifests.append(manifest)
+    return manifests
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(0, 80),
+    shards=st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_merge_reconstructs_serial_byte_order(seed, n, shards):
+    lines = _lines(n, seed)
+    with tempfile.TemporaryDirectory() as td:
+        base = Path(td) / "c.jsonl"
+        _write_shards(base, shards, seed, lines)
+        out = Path(td) / "merged.jsonl"
+        result = merge_shards(base, shards, out=out)
+        assert out.read_bytes() == b"".join(lines)
+        assert result.records == n
+        assert result.config_key == CONFIG_KEY
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 60),
+    shards=st.integers(1, 6),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_resume_after_arbitrary_kill_schedule(seed, n, shards, data):
+    """Crash a shard at arbitrary checkpoints; resume converges exactly.
+
+    Models what a SIGKILL leaves on disk: ``c`` durable lines, a sidecar
+    at ``c``, and possibly a torn trailing write.  However many times a
+    shard is cut, writing ``lines[resume:]`` after each resume ends with
+    every spool byte-identical to an uninterrupted run, and the merge
+    equal to the serial reference.
+    """
+    lines = _lines(n, seed)
+    with tempfile.TemporaryDirectory() as td:
+        base = Path(td) / "c.jsonl"
+        manifests = _write_shards(base, shards, seed, lines)
+        victim = data.draw(st.integers(0, shards - 1), label="victim shard")
+        manifest = manifests[victim]
+        spool = shard_spool_path(base, victim, shards)
+        owned = [lines[i] for i in manifest.indices]
+
+        kills = data.draw(
+            st.lists(st.integers(0, len(owned)), max_size=3, unique=True)
+            .map(sorted),
+            label="kill checkpoints",
+        )
+        for cut in kills:
+            # the crash: only `cut` records checkpointed, maybe a torn tail
+            spool.write_bytes(b"".join(owned[:cut]))
+            save_checkpoint(
+                spool, Checkpoint(config_key=CONFIG_KEY, completed=cut)
+            )
+            if cut < len(owned) and data.draw(
+                st.booleans(), label="torn tail"
+            ):
+                with spool.open("ab") as fh:
+                    fh.write(owned[cut][: max(1, len(owned[cut]) // 2)])
+            # the retry: resume tells us where, we replay the remainder
+            resumed = shard_resume_position(spool, manifest)
+            assert resumed == cut
+            with spool.open("ab") as fh:
+                fh.write(b"".join(owned[resumed:]))
+            save_checkpoint(
+                spool,
+                Checkpoint(config_key=CONFIG_KEY, completed=len(owned)),
+            )
+            assert spool.read_bytes() == b"".join(owned)
+
+        out = Path(td) / "merged.jsonl"
+        merge_shards(base, shards, out=out)
+        assert out.read_bytes() == b"".join(lines)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 60),
+    shards=st.integers(1, 6),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_crash_before_first_checkpoint_restarts_cleanly(
+    seed, n, shards, data
+):
+    lines = _lines(n, seed)
+    with tempfile.TemporaryDirectory() as td:
+        base = Path(td) / "c.jsonl"
+        manifests = _write_shards(base, shards, seed, lines)
+        victim = data.draw(st.integers(0, shards - 1), label="victim shard")
+        manifest = manifests[victim]
+        spool = shard_spool_path(base, victim, shards)
+        owned = [lines[i] for i in manifest.indices]
+        if not owned:
+            return  # an empty shard has no pre-checkpoint window
+        # torn first write, no sidecar ever made it to disk
+        spool.write_bytes(owned[0][: len(owned[0]) // 2])
+        assert shard_resume_position(spool, manifest) == 0
+        assert not spool.exists()
