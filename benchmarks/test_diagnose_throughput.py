@@ -1,0 +1,216 @@
+"""Batch diagnosis throughput: compiled columnar engine vs object path.
+
+Measures ``diagnose_batch`` end to end — raw session dicts in,
+:class:`DiagnosisReport` objects out — under both prediction engines
+(``REPRO_ML_PREDICT=compiled`` and ``=object``) at batch sizes 1, 1k,
+100k and 1M, on an FCBF-selected analyzer over a realistic ~180-feature
+probe universe (the paper's configuration: selection on, a handful of
+surviving features per task).
+
+Results land twice: ``benchmarks/reports/diagnose_throughput.txt`` for
+humans and ``BENCH_diagnose.json`` at the repo root for machines.  The
+run *fails* if the compiled engine is less than
+``REPRO_DIAGNOSE_SPEEDUP_MIN`` (default 5) times the object path at the
+100k batch — that ratio is machine-independent enough to gate on.  The
+1M point and the absolute rows/s are reported as a trend against the
+committed JSON only; absolute numbers wobble across CI machines.
+
+Knobs: ``REPRO_DIAGNOSE_BENCH_SIZES`` (comma list, default
+``1,1000,100000,1000000``) trims the sweep for quick local runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dataset import Dataset, Instance
+from repro.core.diagnosis import RootCauseAnalyzer
+from repro.ml.compiled import PREDICT_MODE_ENV
+
+from benchmarks.test_microbenchmarks import _probe_feature_names
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_diagnose.json"
+
+#: unique rows generated; larger batches tile these (values still vary
+#: row to row, and per-row work is identical, so throughput is honest)
+_UNIQUE_ROWS = 100_000
+
+#: wall-clock budget per (engine, size) cell: repeat until this is spent
+#: or 3 runs complete, keep the best
+_MIN_RUNS, _MAX_RUNS, _CELL_BUDGET_S = 1, 3, 20.0
+
+
+def _selected_analyzer():
+    """An FCBF-on analyzer whose tasks keep a few multi-VP features.
+
+    The label rule mixes five drivers across vantage points so the
+    filter retains a realistic feature set (~4 per task) instead of one
+    dominant column.
+    """
+    names = _probe_feature_names()
+    rng = np.random.default_rng(7)
+
+    def features():
+        return {n: float(v) for n, v in zip(names, rng.uniform(0, 100, len(names)))}
+
+    def labels(f):
+        score = (f["mobile_tcp_rtt_avg"]
+                 + 0.5 * f["mobile_tcp_c2s_retx_pkts"]
+                 + 0.3 * f["router_link_tx_rate"]
+                 + 0.2 * f["mobile_hw_cpu_avg"]
+                 + 0.4 * f["server_tcp_rtt_max"])
+        if score < 95:
+            return "good", "good", "good"
+        if score < 160:
+            return "mild", "wan_mild", "wan_congestion_mild"
+        return "severe", "lan_severe", "wifi_interference_severe"
+
+    train = []
+    for _ in range(240):
+        f = features()
+        severity, location, exact = labels(f)
+        train.append(Instance(
+            features=f,
+            labels={"severity": severity, "location": location,
+                    "exact": exact,
+                    "existence": "good" if severity == "good" else "problematic"},
+            meta={"session_s": 30.0},
+        ))
+    return RootCauseAnalyzer(select=True).fit(Dataset(train)), features
+
+
+def _session_rows(features, n):
+    unique = min(n, _UNIQUE_ROWS)
+    rows = [features() for _ in range(unique)]
+    while len(rows) < n:
+        rows.extend(rows[: n - len(rows)])
+    return rows
+
+
+def _rows_per_sec(analyzer, rows, mode):
+    """Best-of-N throughput of ``diagnose_batch`` under one engine."""
+    before = os.environ.get(PREDICT_MODE_ENV)
+    os.environ[PREDICT_MODE_ENV] = mode
+    try:
+        analyzer.diagnose_batch(rows[:1])  # warm plans and caches
+        best = float("inf")
+        spent = 0.0
+        for run in range(_MAX_RUNS):
+            start = time.perf_counter()
+            reports = analyzer.diagnose_batch(rows)
+            elapsed = time.perf_counter() - start
+            assert len(reports) == len(rows)
+            best = min(best, elapsed)
+            spent += elapsed
+            if run + 1 >= _MIN_RUNS and spent > _CELL_BUDGET_S:
+                break
+        return len(rows) / best
+    finally:
+        if before is None:
+            os.environ.pop(PREDICT_MODE_ENV, None)
+        else:
+            os.environ[PREDICT_MODE_ENV] = before
+
+
+def test_diagnose_throughput(report):
+    sizes = [
+        int(s) for s in os.environ.get(
+            "REPRO_DIAGNOSE_BENCH_SIZES", "1,1000,100000,1000000"
+        ).split(",")
+    ]
+    floor = float(os.environ.get("REPRO_DIAGNOSE_SPEEDUP_MIN", "5"))
+    baseline = (
+        json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else None
+    )
+
+    analyzer, features = _selected_analyzer()
+    rows = _session_rows(features, max(sizes))
+
+    results = []
+    for size in sizes:
+        batch = rows[:size]
+        compiled = _rows_per_sec(analyzer, batch, "compiled")
+        obj = _rows_per_sec(analyzer, batch, "object")
+        results.append({
+            "batch": size,
+            "compiled_rows_per_s": round(compiled, 1),
+            "object_rows_per_s": round(obj, 1),
+            "speedup": round(compiled / obj, 2),
+        })
+
+    per_task = {t: len(f) for t, f in analyzer.features.items()}
+    out = {
+        "schema": 1,
+        "select": True,
+        "features_per_task": per_task,
+        "results": results,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    BENCH_JSON.write_text(json.dumps(out, indent=2) + "\n")
+
+    lines = ["diagnose_batch throughput (rows/s, compiled vs object engine)",
+             f"  analyzer     select=on, features/task {per_task}",
+             f"  {'batch':>9}  {'compiled':>12}  {'object':>12}  speedup"]
+    base_by_size = {}
+    if baseline is not None:
+        base_by_size = {r["batch"]: r for r in baseline.get("results", [])}
+    for r in results:
+        line = (f"  {r['batch']:>9}  {r['compiled_rows_per_s']:>12,.0f}"
+                f"  {r['object_rows_per_s']:>12,.0f}  {r['speedup']:6.2f}x")
+        base = base_by_size.get(r["batch"])
+        if base:
+            delta = r["compiled_rows_per_s"] / base["compiled_rows_per_s"] - 1.0
+            line += f"   (compiled vs baseline {delta:+.1%}, informational)"
+        lines.append(line)
+    lines.append(f"  floor        compiled >= {floor:.0f}x object at batch 100k")
+    report("diagnose_throughput", "\n".join(lines))
+
+    gated = [r for r in results if r["batch"] == 100_000]
+    if gated:
+        speedup = gated[0]["speedup"]
+        assert speedup >= floor, (
+            f"compiled engine only {speedup:.2f}x the object path at 100k "
+            f"rows (need {floor:.0f}x)"
+        )
+
+
+def test_predict_one_latency(report):
+    """Single-session scalar fast path vs the object engine round trip."""
+    analyzer, features = _selected_analyzer()
+    session = Instance(features=features(), labels={},
+                       meta={"session_s": 25.0})
+    iters = 2000
+    lat = {}
+    for mode in ("compiled", "object"):
+        before = os.environ.get(PREDICT_MODE_ENV)
+        os.environ[PREDICT_MODE_ENV] = mode
+        try:
+            tree = next(iter(analyzer.models.values()))
+            row = [float(i) for i in range(tree.n_features)]
+            tree.predict_one(row)  # warm
+            start = time.perf_counter()
+            for _ in range(iters):
+                tree.predict_one(row)
+            lat[mode] = (time.perf_counter() - start) / iters
+        finally:
+            if before is None:
+                os.environ.pop(PREDICT_MODE_ENV, None)
+            else:
+                os.environ[PREDICT_MODE_ENV] = before
+    speedup = lat["object"] / lat["compiled"]
+    report("predict_one_latency",
+           "predict_one scalar fast path\n"
+           f"  compiled  {lat['compiled'] * 1e6:8.2f} us/call\n"
+           f"  object    {lat['object'] * 1e6:8.2f} us/call   "
+           f"(compiled {speedup:.1f}x faster)")
+    assert lat["compiled"] <= lat["object"], (
+        "scalar compiled predict_one slower than the object round trip"
+    )

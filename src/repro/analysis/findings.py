@@ -90,6 +90,14 @@ RULES: Dict[str, Rule] = {
             "generic feature matrix only)",
         ),
         Rule(
+            "M203",
+            "per-row-matrix-loop",
+            "warning",
+            "per-row Python loop over a feature matrix in a predict/transform "
+            "hot path under repro/ml/; vectorize over the whole batch (the "
+            "compiled-inference engines assume batch-shaped model calls)",
+        ),
+        Rule(
             "F301",
             "fault-lifecycle-pair",
             "error",

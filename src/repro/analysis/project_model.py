@@ -40,6 +40,7 @@ from repro.analysis.async_discipline import check_async_discipline
 from repro.analysis.determinism import check_determinism
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.lifecycle import check_lifecycle
+from repro.analysis.matrix_loops import check_matrix_loops
 from repro.analysis.obs_usage import check_obs_usage
 from repro.analysis.pipeline_schema import check_pipeline_stages
 from repro.analysis.schema import MetricRef, extract_consumed, extract_produced
@@ -91,6 +92,9 @@ CONSUMER_MODULES = (
     "ml/fcbf.py",
     "ml/export.py",
 )
+
+#: package whose predict/transform hot paths must stay vectorized (M203)
+MATRIX_LOOP_PACKAGE = "ml"
 
 #: package whose classes the lifecycle pass inspects (F3xx)
 LIFECYCLE_PACKAGE = "faults"
@@ -240,6 +244,8 @@ def analyze_file(shown: str, rel: str, source: str) -> FileFacts:
     top = _top_package(rel)
     if top in DETERMINISM_PACKAGES:
         facts.findings.extend(check_determinism(shown, source))
+    if top == MATRIX_LOOP_PACKAGE:
+        facts.findings.extend(check_matrix_loops(shown, source))
     if top == LIFECYCLE_PACKAGE:
         facts.findings.extend(check_lifecycle(shown, source))
     if top == PIPELINE_PACKAGE:

@@ -18,6 +18,7 @@ of Section 3.
 
 from __future__ import annotations
 
+import itertools
 import json
 import warnings
 from dataclasses import dataclass, field
@@ -36,10 +37,12 @@ from typing import (
 
 import numpy as np
 
+from repro.core.compiled import CompiledAnalyzer
 from repro.core.construction import FeatureConstructor
 from repro.core.dataset import Dataset
 from repro.core.selection import FeatureSelector
 from repro.core.vantage import ALL_VPS, combo_name, features_for_vps
+from repro.ml.compiled import predict_mode
 from repro.ml.tree import C45Tree
 from repro.obs.telemetry import get_telemetry
 from repro.schemas import ANALYZER_V1, ANALYZER_V2, FC_STATE_V1
@@ -145,6 +148,7 @@ class RootCauseAnalyzer:
         self.models: Dict[str, object] = {}
         self.features: Dict[str, List[str]] = {}
         self.fitted = False
+        self._compiled: Optional[CompiledAnalyzer] = None
 
     # ------------------------------------------------------------------- fit
 
@@ -179,7 +183,21 @@ class RootCauseAnalyzer:
                     self.models[task] = model
                     self.features[task] = list(names)
         self.fitted = True
+        self._compiled = None  # batch plans recompile against the new models
         return self
+
+    def compiled(self) -> CompiledAnalyzer:
+        """The fused batch-diagnosis plan cache for this analyzer.
+
+        Built lazily and discarded on refit; ``diagnose_batch`` uses it
+        whenever ``REPRO_ML_PREDICT`` selects the compiled engine.
+        """
+        if not self.fitted:
+            raise RuntimeError("analyzer must be fit first")
+        compiled = getattr(self, "_compiled", None)
+        if compiled is None:
+            compiled = self._compiled = CompiledAnalyzer(self)
+        return compiled
 
     # -------------------------------------------------------------- diagnose
 
@@ -270,11 +288,16 @@ class RootCauseAnalyzer:
     ) -> List[DiagnosisReport]:
         """Vectorized diagnosis of many sessions at once.
 
-        Builds one feature matrix for the whole batch via
-        :meth:`FeatureConstructor.transform_rows` and calls each task model's
-        ``predict(X)`` exactly once, so fleet-scale workloads pay numpy
-        prices instead of per-session Python prices.  Labels are identical
-        to looping :meth:`diagnose` over the same sessions.
+        The default engine runs the fused :class:`CompiledAnalyzer` plan
+        (:meth:`compiled`): only the columns the task models consume are
+        gathered and constructed, and the compiled tree plans decode
+        labels through precomputed tables.  With
+        ``REPRO_ML_PREDICT=object`` — or for heterogeneous batches the
+        plans don't cover — the reference path builds the full feature
+        matrix via :meth:`FeatureConstructor.transform_rows` and calls
+        each task model's ``predict(X)`` once.  Both engines produce
+        byte-identical reports, and labels are identical to looping
+        :meth:`diagnose` over the same sessions.
         """
         if not self.fitted:
             raise RuntimeError("analyzer must be fit first")
@@ -293,31 +316,41 @@ class RootCauseAnalyzer:
             return []
         tel = get_telemetry()
         with tel.span("diagnose.batch", sessions=len(rows)):
-            matrix, names = self.constructor.transform_rows(rows, session_s=durations)
-            column = {name: j for j, name in enumerate(names)}
-            # Pad with one zero column so every selected feature -- present or
-            # not -- resolves with a single fancy-index per task.
-            padded = np.concatenate([matrix, np.zeros((len(rows), 1))], axis=1)
-            zero_col = padded.shape[1] - 1
-            predictions: Dict[str, Sequence[str]] = {}
-            for task in _TASKS:
-                idx = [column.get(name, zero_col) for name in self.features[task]]
-                labels = self.models[task].predict(padded[:, idx])
-                predictions[task] = [str(label) for label in np.asarray(labels).tolist()]
+            predictions: Optional[Dict[str, Sequence[str]]] = None
+            if predict_mode() == "compiled":
+                predictions = self.compiled().predict_rows(rows, durations)
+            if predictions is None:
+                matrix, names = self.constructor.transform_rows(
+                    rows, session_s=durations
+                )
+                column = {name: j for j, name in enumerate(names)}
+                # Pad with one zero column so every selected feature --
+                # present or not -- resolves with a single fancy-index
+                # per task.
+                padded = np.concatenate([matrix, np.zeros((len(rows), 1))], axis=1)
+                zero_col = padded.shape[1] - 1
+                predictions = {}
+                for task in _TASKS:
+                    idx = [column.get(name, zero_col) for name in self.features[task]]
+                    labels = self.models[task].predict(padded[:, idx])
+                    predictions[task] = [
+                        str(label) for label in np.asarray(labels).tolist()
+                    ]
             tel.count("diagnose.sessions", len(rows))
-        used = {t: self.features[t] for t in _TASKS}
-        return [
-            DiagnosisReport(
-                severity=severity,
-                location=location,
-                exact=exact,
-                vps=self.vps,
-                details={"used_features": used},
+        # One shared details dict for the whole batch (nothing mutates
+        # report details), and positional construction via map — kwargs
+        # dicts per row cost more than the reports themselves.
+        details = {"used_features": {t: self.features[t] for t in _TASKS}}
+        return list(
+            map(
+                DiagnosisReport,
+                predictions["severity"],
+                predictions["location"],
+                predictions["exact"],
+                itertools.repeat(self.vps),
+                itertools.repeat(details),
             )
-            for severity, location, exact in zip(
-                predictions["severity"], predictions["location"], predictions["exact"]
-            )
-        ]
+        )
 
     def diagnose_stream(
         self,

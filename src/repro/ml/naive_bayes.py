@@ -13,6 +13,10 @@ import numpy as np
 
 _VAR_FLOOR = 1e-9
 
+#: elements per (rows, classes, features) likelihood block — keeps the
+#: broadcast temporaries cache-sized instead of materialising n*k*f floats
+_BROADCAST_BUDGET = 1 << 21
+
 
 class GaussianNB:
     """Per-class Gaussian likelihoods with Laplace-smoothed priors."""
@@ -49,14 +53,33 @@ class GaussianNB:
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Highest-posterior class per row, fully vectorized.
+
+        log N(x | mu, var) is evaluated for all classes at once as one
+        (rows, classes, features) broadcast per row chunk — no per-class
+        Python pass.  The arithmetic applies the same elementwise ops as
+        the per-class formulation (reordered only by commutativity), so
+        scores and labels are bit-identical to it (pinned by the
+        classifier-comparison bench and the compiled-equivalence suite).
+        """
         if self._means is None:
             raise RuntimeError("model is not fitted")
         X = np.asarray(X, dtype=float)
-        # log N(x | mu, var) summed over features, per class.
-        scores = np.empty((len(X), len(self.classes_)))
-        for c in range(len(self.classes_)):
-            var = self._vars[c]
-            diff = X - self._means[c]
-            log_lik = -0.5 * (np.log(2.0 * np.pi * var) + diff * diff / var)
-            scores[:, c] = log_lik.sum(axis=1) + self._log_priors[c]
+        n = len(X)
+        k, f = self._means.shape
+        log_norm = np.log(2.0 * np.pi * self._vars)
+        scores = np.empty((n, k))
+        chunk = max(1, _BROADCAST_BUDGET // max(k * f, 1))
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            diff = X[start:stop, None, :] - self._means
+            diff *= diff
+            diff /= self._vars
+            diff += log_norm
+            diff *= -0.5
+            scores[start:stop] = diff.sum(axis=2) + self._log_priors
         return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_one(self, row: Sequence[float]) -> object:
+        """One row, through the same scoring as :meth:`predict`."""
+        return self.predict(np.asarray(row, dtype=float)[None, :])[0]

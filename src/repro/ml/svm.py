@@ -69,9 +69,16 @@ class LinearSVM:
             self._bias[c] = b
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class margins, one BLAS matmul for the whole batch."""
         if self._weights is None:
             raise RuntimeError("model is not fitted")
         Xs = self._standardize(np.asarray(X, dtype=float))
-        scores = Xs @ self._weights.T + self._bias
-        return self.classes_[np.argmax(scores, axis=1)]
+        return Xs @ self._weights.T + self._bias
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]
+
+    def predict_one(self, row: Sequence[float]) -> object:
+        """One row, through the same margins as :meth:`predict`."""
+        return self.predict(np.asarray(row, dtype=float)[None, :])[0]

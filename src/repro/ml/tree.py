@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ml.compiled import TreePlan, predict_mode
+
 # z-score for the one-sided CF=0.25 bound, as in C4.5/J48.
 _Z_BY_CF = {0.25: 0.6744897501960817, 0.1: 1.2815515655446004, 0.5: 0.0}
 
@@ -85,6 +87,7 @@ class C45Tree:
         self.feature_names: Optional[List[str]] = None
         self.n_features = 0
         self._importance: Optional[np.ndarray] = None
+        self._plan: Optional[TreePlan] = None
 
     # ------------------------------------------------------------------ fit
 
@@ -109,6 +112,7 @@ class C45Tree:
         self.root = self._build(X, y_codes, one_hot, depth=0)
         if self.prune:
             self._prune(self.root)
+        self._plan = None  # recompiled lazily against the new structure
         return self
 
     def _build(
@@ -207,19 +211,35 @@ class C45Tree:
 
     # -------------------------------------------------------------- predict
 
+    def compiled_plan(self) -> TreePlan:
+        """The structure-of-arrays plan for this tree (compiled lazily)."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        if self._plan is None:
+            self._plan = TreePlan.from_root(self.root)
+        return self._plan
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Vectorized batch prediction.
 
-        Rows are routed through the tree by partitioning index sets at each
-        internal node, so the cost is one numpy comparison per node reached
-        rather than a Python loop per row -- the difference between the
-        per-session and the fleet-scale inference path.
+        The default engine evaluates the compiled structure-of-arrays
+        plan (:meth:`compiled_plan`): one iterative numpy descent step
+        per tree level over the still-interior rows.  With
+        ``REPRO_ML_PREDICT=object`` the original node-object traversal
+        runs instead — kept as the differential-testing reference; the
+        two are bit-identical (tests/ml/test_compiled_equivalence.py).
         """
         if self.root is None:
             raise RuntimeError("tree is not fitted")
         X = np.asarray(X, dtype=float)
         if X.ndim != 2:
             raise ValueError("X must be 2-dimensional")
+        if predict_mode() == "object":
+            return self.classes_[self._predict_object(X)]
+        return self.classes_[self.compiled_plan().predict_codes(X)]
+
+    def _predict_object(self, X: np.ndarray) -> np.ndarray:
+        """Reference traversal: index-set partitioning over node objects."""
         out = np.empty(len(X), dtype=int)
         stack = [(self.root, np.arange(len(X)))]
         while stack:
@@ -232,10 +252,21 @@ class C45Tree:
             mask = X[idx, node.feature] <= node.threshold
             stack.append((node.left, idx[mask]))
             stack.append((node.right, idx[~mask]))
-        return self.classes_[out]
+        return out
 
     def predict_one(self, row: np.ndarray) -> object:
-        return self.predict(np.asarray(row, dtype=float)[None, :])[0]
+        """One row, without the batch machinery.
+
+        The compiled engine runs a scalar descent over the plan arrays —
+        no (1, f) matrix, no index bookkeeping — which is what the
+        per-session ``diagnose`` path calls in a loop.  The object engine
+        round-trips through :meth:`predict` as the reference.
+        """
+        if predict_mode() == "object":
+            return self.predict(np.asarray(row, dtype=float)[None, :])[0]
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return self.classes_[self.compiled_plan().predict_code_one(row)]
 
     # ----------------------------------------------------------- inspection
 
